@@ -1,0 +1,51 @@
+//! Criterion mirror of Figure 8: per-operation cost of each structure on
+//! one representative cell per contention level (single-threaded criterion
+//! timing; the multi-threaded sweep lives in `--bin figure8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use workload::{make_map, prefill, Mix, ALL_MAPS};
+
+fn bench_mixes(c: &mut Criterion) {
+    for (range, label) in [(100u64, "hi-contention-1e2"), (10_000, "moderate-1e4")] {
+        let mut group = c.benchmark_group(format!("fig8/{label}/50i-50d"));
+        group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(400));
+        let mix = Mix { inserts: 50, deletes: 50 };
+        for name in ALL_MAPS {
+            let map = make_map(name).unwrap();
+            prefill(map.as_ref(), range, mix, 7);
+            let mut rng = StdRng::seed_from_u64(99);
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| {
+                    let k = rng.gen_range(0..range);
+                    if rng.gen_bool(0.5) {
+                        map.insert(k, k)
+                    } else {
+                        map.remove(&k)
+                    }
+                })
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("fig8/{label}/0i-0d"));
+        group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(400));
+        let mix = Mix { inserts: 0, deletes: 0 };
+        for name in ALL_MAPS {
+            let map = make_map(name).unwrap();
+            prefill(map.as_ref(), range, mix, 7);
+            let mut rng = StdRng::seed_from_u64(99);
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| map.get(&rng.gen_range(0..range)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mixes);
+criterion_main!(benches);

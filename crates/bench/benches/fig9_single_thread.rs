@@ -1,0 +1,68 @@
+//! Criterion mirror of Figure 9: single-threaded per-op cost versus the
+//! sequential red-black tree at key range 1e5 (1e6 in the figure binary;
+//! reduced here to keep criterion's warmup affordable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use workload::{make_map, prefill, Mix, ALL_MAPS};
+
+fn bench_overhead(c: &mut Criterion) {
+    let range = 100_000u64;
+    let mix = Mix { inserts: 20, deletes: 10 };
+
+    let mut group = c.benchmark_group("fig9/20i-10d");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(400));
+
+    // Sequential baseline.
+    let mut seq = seqrbt::RbTree::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut count = 0;
+    while count < range * 2 / 3 {
+        let k = rng.gen_range(0..range);
+        if seq.insert(k, k).is_none() {
+            count += 1;
+        }
+    }
+    let mut rng2 = StdRng::seed_from_u64(42);
+    group.bench_function(BenchmarkId::from_parameter("seq-rbt"), |b| {
+        b.iter(|| {
+            let k = rng2.gen_range(0..range);
+            let dice = rng2.gen_range(0..100);
+            if dice < 20 {
+                seq.insert(k, k);
+            } else if dice < 30 {
+                seq.remove(&k);
+            } else {
+                std::hint::black_box(seq.get(&k));
+            }
+        })
+    });
+
+    for name in ALL_MAPS {
+        if *name == "rbstm" {
+            continue; // as in the paper: STM prefill at large ranges is prohibitive
+        }
+        let map = make_map(name).unwrap();
+        prefill(map.as_ref(), range, mix, 7);
+        let mut rng = StdRng::seed_from_u64(42);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let k = rng.gen_range(0..range);
+                let dice = rng.gen_range(0..100);
+                if dice < 20 {
+                    map.insert(k, k);
+                } else if dice < 30 {
+                    map.remove(&k);
+                } else {
+                    std::hint::black_box(map.get(&k));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

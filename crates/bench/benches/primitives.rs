@@ -1,0 +1,58 @@
+//! Microbenchmarks of the template machinery itself: the cost of one
+//! template update (LLX·2 + SCX) and one read-only search, isolated on the
+//! chromatic tree and the template-driven plain BST.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbbst::NbBst;
+use nbtree::ChromaticTree;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+
+    // Pure-read search (property C3: no synchronization at all).
+    let t = ChromaticTree::new();
+    for i in 0..10_000u64 {
+        t.insert(i, i);
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    group.bench_function("chromatic/get-10k", |b| {
+        b.iter(|| t.get(&rng.gen_range(0..10_000)))
+    });
+
+    // One template update: insert+remove pair = 2×(search + LLXs + SCX).
+    group.bench_function("chromatic/insert-remove-pair", |b| {
+        let mut k = 10_000u64;
+        b.iter(|| {
+            k += 1;
+            t.insert(k, k);
+            t.remove(&k)
+        })
+    });
+
+    let bst = NbBst::new();
+    for i in 0..10_000u64 {
+        bst.insert(i, i);
+    }
+    group.bench_function("nbbst/insert-remove-pair", |b| {
+        let mut k = 10_000u64;
+        b.iter(|| {
+            k += 1;
+            bst.insert(k, k);
+            bst.remove(&k)
+        })
+    });
+
+    // Successor uses LLX + VLX validation: measures the ordered-query path.
+    group.bench_function("chromatic/successor-10k", |b| {
+        b.iter(|| t.successor(&rng.gen_range(0..10_000)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation of §5.6: sweep the `allowed_violations` threshold k and report
+//! update throughput, rebalancing work, and resulting tree height. The
+//! paper's Chromatic vs Chromatic6 comparison is k = 0 vs k = 6.
+
+use bench::{print_row, trial_duration};
+use nbtree::ChromaticTree;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let duration = trial_duration();
+    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let range = 10_000u64;
+    println!("# Ablation: allowed violations k (50i-50d, range 1e4, {threads} threads)");
+    print_row("k", &["Mops/s".into(), "steps/op".into(), "height".into(), "cleanups/op".into()]);
+    for k in [0u32, 1, 2, 6, 16, 64] {
+        let t = Arc::new(ChromaticTree::<u64, u64>::with_allowed_violations(k));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut inserted = 0;
+        while inserted < range / 2 {
+            let key = rng.gen_range(0..range);
+            if t.insert(key, key).is_none() {
+                inserted += 1;
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(tid as u64 + 100);
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            let key = rng.gen_range(0..range);
+                            if rng.gen_bool(0.5) {
+                                t.insert(key, key);
+                            } else {
+                                t.remove(&key);
+                            }
+                            ops += 1;
+                        }
+                    }
+                    total.fetch_add(ops, Ordering::Relaxed);
+                });
+            }
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+        });
+        let ops = total.load(Ordering::Relaxed);
+        let mops = ops as f64 / duration.as_secs_f64() / 1e6;
+        let steps = t.stats().total_steps();
+        let cleanups = t.stats().cleanup_passes();
+        let height = t.audit().height;
+        print_row(
+            &k.to_string(),
+            &[
+                format!("{mops:.3}"),
+                format!("{:.4}", steps as f64 / ops as f64),
+                height.to_string(),
+                format!("{:.4}", cleanups as f64 / ops as f64),
+            ],
+        );
+    }
+}

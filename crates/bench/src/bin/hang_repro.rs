@@ -1,0 +1,55 @@
+use nbtree::ChromaticTree;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
+
+fn run(seed: u64, nthreads: u64, ops: u64, range: u64) -> usize {
+    let t = Arc::new(ChromaticTree::<u64, u64>::with_allowed_violations(0));
+    std::thread::scope(|s| {
+        for tid in 0..nthreads {
+            let t = Arc::clone(&t);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed * 1000 + tid);
+                let trace = std::env::var("NBTREE_TRACE").is_ok();
+                for i in 0..ops {
+                    let key = rng.gen_range(0..range);
+                    match rng.gen_range(0..10) {
+                        0..=4 => {
+                            if trace { eprintln!("[{:?}] op{} insert({key})", std::thread::current().id(), i); }
+                            t.insert(key, tid);
+                        }
+                        _ => {
+                            if trace { eprintln!("[{:?}] op{} remove({key})", std::thread::current().id(), i); }
+                            t.remove(&key);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let rep = t.audit();
+    if !rep.is_valid() {
+        eprintln!("seed {seed}: INVALID {:?}", rep.errors);
+    }
+    if rep.violations() > 0 && std::env::var("DUMP").is_ok() {
+        eprintln!("seed {seed}: {} redred {} ow", rep.red_red_violations, rep.overweight_violations);
+        t.debug_dump(16);
+    }
+    rep.violations()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (nt, ops, range) = (
+        args.get(1).map(|s| s.parse().unwrap()).unwrap_or(2),
+        args.get(2).map(|s| s.parse().unwrap()).unwrap_or(2000),
+        args.get(3).map(|s| s.parse().unwrap()).unwrap_or(32),
+    );
+    for seed in 0..40 {
+        let v = run(seed, nt, ops, range);
+        if v > 0 {
+            eprintln!("seed {seed}: {v} orphaned violations (threads={nt} ops={ops} range={range})");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("no orphans in 200 seeds (threads={nt} ops={ops} range={range})");
+}

@@ -1,0 +1,62 @@
+//! Validates the height bound of §5.3: at quiescence the chromatic tree's
+//! height is at most that of a red-black tree (≤ 2·log2(n+1) over the
+//! leaves) plus the configured violation allowance; during execution it is
+//! O(k + c + log n) with c concurrent updates.
+
+use nbtree::ChromaticTree;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn log2ceil(n: usize) -> usize {
+    (usize::BITS - n.next_power_of_two().leading_zeros()) as usize
+}
+
+fn main() {
+    println!("# Height bound experiment (§5.3): height vs 2·log2(n+1) + k");
+    println!("{:<10} {:>3} {:>9} {:>8} {:>8} {:>11}", "n", "k", "height", "bound", "viols", "ok");
+    for k in [0u32, 6] {
+        for exp in [10u32, 13, 16] {
+            let n = 1u64 << exp;
+            let t = Arc::new(ChromaticTree::with_allowed_violations(k));
+            let threads = std::thread::available_parallelism().map(|x| x.get().min(8)).unwrap_or(4);
+            let stop = Arc::new(AtomicBool::new(false));
+            // Concurrent random churn around a prefilled set.
+            std::thread::scope(|s| {
+                for tid in 0..threads {
+                    let t = Arc::clone(&t);
+                    let stop = Arc::clone(&stop);
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(tid as u64);
+                        let per = n / threads as u64;
+                        let base = tid as u64 * per;
+                        for i in 0..per {
+                            t.insert(base + i, i);
+                        }
+                        while !stop.load(Ordering::Relaxed) {
+                            let key = rng.gen_range(0..n);
+                            if rng.gen_bool(0.5) {
+                                t.insert(key, key);
+                            } else {
+                                t.remove(&key);
+                            }
+                        }
+                    });
+                }
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                stop.store(true, Ordering::Relaxed);
+            });
+            let report = t.audit();
+            assert!(report.is_valid(), "{:?}", report.errors);
+            // Quiescent bound: RBT height over leaf-oriented tree + slack k.
+            let bound = 2 * log2ceil(report.keys + 1) + 2 + k as usize;
+            let ok = report.height <= bound;
+            println!(
+                "{:<10} {:>3} {:>9} {:>8} {:>8} {:>11}",
+                report.keys, k, report.height, bound, report.violations(), ok
+            );
+            assert!(ok, "height bound violated");
+        }
+    }
+    println!("all height bounds hold");
+}

@@ -1,0 +1,54 @@
+//! Verifies the amortized rebalancing claim the chromatic tree relies on
+//! (Boyar–Fagerberg–Larsen, used in §5.4/§6): at most 3 rebalancing steps
+//! per insertion plus 1 per deletion, amortized, from an empty tree. Also
+//! prints the distribution over the step types of Fig. 11.
+
+use nbtree::{ChromaticTree, STEP_NAMES};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    println!("# Amortized rebalancing steps per update (bound: 3/insert + 1/delete)");
+    println!("{:<12} {:>10} {:>10} {:>10} {:>9} {:>7}", "workload", "inserts", "deletes", "steps", "bound", "ok");
+    let scenarios: &[(&str, u64, f64)] = &[
+        ("ascending", 1 << 16, 0.0),
+        ("random", 1 << 16, 0.0),
+        ("mixed", 1 << 16, 0.5),
+        ("churn-small", 1 << 16, 0.5),
+    ];
+    for (name, n, delete_frac) in scenarios {
+        let t = ChromaticTree::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut inserts, mut deletes) = (0u64, 0u64);
+        let range = if *name == "churn-small" { 512 } else { u64::MAX };
+        for i in 0..*n {
+            if rng.gen_bool(*delete_frac) {
+                let k = rng.gen_range(0..range.min(2 * n));
+                t.remove(&k);
+                deletes += 1;
+            } else {
+                let k = match *name {
+                    "ascending" => i,
+                    _ => rng.gen_range(0..range.min(2 * n)),
+                };
+                t.insert(k, i);
+                inserts += 1;
+            }
+        }
+        let steps = t.stats().total_steps();
+        let bound = 3 * inserts + deletes;
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>7}",
+            name, inserts, deletes, steps, bound, steps <= bound
+        );
+        assert!(steps <= bound, "amortized bound violated");
+        let dist = t.stats().steps();
+        let parts: Vec<String> = STEP_NAMES
+            .iter()
+            .zip(dist.iter())
+            .filter(|(_, c)| **c > 0)
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect();
+        println!("             step mix: {}", parts.join(" "));
+    }
+    println!("all amortized bounds hold");
+}

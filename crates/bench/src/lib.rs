@@ -1,0 +1,52 @@
+//! Shared configuration and table printing for the figure-regeneration
+//! binaries (`figure8`, `figure9`, `height_bound`, `ablation_violations`,
+//! `rebalance_cost`).
+
+use std::time::Duration;
+
+/// Per-trial duration: `NBTREE_BENCH_SECS` (seconds, float), default 0.5s;
+/// the paper used 5s — set `NBTREE_BENCH_FULL=1` for paper-scale runs.
+pub fn trial_duration() -> Duration {
+    if full_scale() {
+        return Duration::from_secs(5);
+    }
+    let secs: f64 = std::env::var("NBTREE_BENCH_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    Duration::from_secs_f64(secs)
+}
+
+/// Trials per configuration: `NBTREE_BENCH_TRIALS`, default 1 (paper: 5).
+pub fn trials() -> usize {
+    if full_scale() {
+        return 5;
+    }
+    std::env::var("NBTREE_BENCH_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// `NBTREE_BENCH_FULL=1` switches to the paper's 5s × 5-trial methodology.
+pub fn full_scale() -> bool {
+    std::env::var("NBTREE_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The paper's key ranges: 1e2 (high contention), 1e4 (moderate), 1e6 (low).
+/// Override with `NBTREE_BENCH_RANGES=100,10000` for quicker runs.
+pub fn key_ranges() -> Vec<u64> {
+    if let Ok(s) = std::env::var("NBTREE_BENCH_RANGES") {
+        return s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+    }
+    vec![100, 10_000, 1_000_000]
+}
+
+/// Prints one row of a fixed-width table.
+pub fn print_row(first: &str, cells: &[String]) {
+    print!("{first:<12}");
+    for c in cells {
+        print!(" {c:>10}");
+    }
+    println!();
+}

@@ -1,0 +1,324 @@
+//! The non-blocking chromatic tree (paper §5).
+//!
+//! A chromatic tree is a relaxed-balance red-black tree: colours are
+//! generalized to non-negative integer *weights* (0 = red, 1 = black,
+//! `w > 1` = `w − 1` *overweight violations*), and the balance conditions
+//! may be violated transiently. Insertions and deletions perform one
+//! localized update each (following the tree update template) and then
+//! restore balance with a sequence of localized rebalancing steps that can
+//! be freely interleaved with other operations.
+
+mod audit;
+mod query;
+mod rebalance;
+pub mod stats;
+mod update;
+
+pub use audit::AuditReport;
+pub use stats::Stats;
+
+use std::sync::atomic::Ordering;
+
+use llxscx::epoch::{pin, Atomic, Guard, Shared};
+
+use crate::node::Node;
+
+/// Whether event tracing (`NBTREE_TRACE=1`) is enabled; cached per process.
+/// Diagnostic aid for debugging rare concurrent interleavings.
+pub(crate) fn trace_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("NBTREE_TRACE").is_ok())
+}
+
+/// A concurrent, non-blocking ordered dictionary backed by a chromatic tree.
+///
+/// All operations are linearizable and the implementation is lock-free:
+/// some operation always completes in a finite number of steps, regardless
+/// of the delays or failures of other threads.
+///
+/// The tree is *leaf-oriented*: dictionary keys live in the leaves and
+/// internal nodes only route searches. At all times the height is
+/// `O(k + c + log n)` where `n` is the number of keys, `c` the number of
+/// in-progress insertions/deletions, and `k` the configured
+/// [`allowed_violations`](Self::with_allowed_violations) threshold.
+///
+/// # Examples
+///
+/// ```
+/// let tree = nbtree::ChromaticTree::new();
+/// assert_eq!(tree.insert(3, "three"), None);
+/// assert_eq!(tree.get(&3), Some("three"));
+/// assert_eq!(tree.remove(&3), Some("three"));
+/// assert_eq!(tree.get(&3), None);
+/// ```
+pub struct ChromaticTree<K: Send + Sync, V: Send + Sync> {
+    /// The `entry` Data-record (paper Fig. 10): key `∞`, weight 1, never
+    /// removed. Its left child is the second sentinel (or, when the
+    /// dictionary is empty, a single `∞` leaf); its right child is unused.
+    pub(crate) entry: Atomic<Node<K, V>>,
+    /// Invoke `Cleanup` only when the number of violations seen on the
+    /// update's search path (plus the one it created) exceeds this bound
+    /// (§5.6). `0` is the paper's plain "Chromatic"; `6` is "Chromatic6".
+    pub(crate) allowed_violations: u32,
+    pub(crate) stats: Stats,
+}
+
+// SAFETY: all shared mutable state is accessed through atomics/epoch guards.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for ChromaticTree<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for ChromaticTree<K, V> {}
+
+/// The result of a search: the grandparent, parent and leaf on the search
+/// path (grandparent is null when the tree is empty — the leaf's parent is
+/// then `entry` itself).
+pub(crate) struct SearchResult<'g, K, V> {
+    pub gp: Shared<'g, Node<K, V>>,
+    pub p: Shared<'g, Node<K, V>>,
+    pub leaf: Shared<'g, Node<K, V>>,
+    /// Violations (red-red and units of overweight) observed on the path,
+    /// used by the `allowed_violations` policy.
+    pub violations_seen: u32,
+}
+
+impl<K, V> ChromaticTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// An empty tree with the paper's eager rebalancing policy (an update
+    /// that creates a violation cleans it up before returning).
+    pub fn new() -> Self {
+        Self::with_allowed_violations(0)
+    }
+
+    /// An empty tree that tolerates up to `k` violations on a search path
+    /// before an update triggers `Cleanup` (§5.6). The paper's
+    /// "Chromatic6" is `k = 6`; larger `k` trades search depth for fewer
+    /// rebalancing steps, giving height `O(k + c + log n)`.
+    pub fn with_allowed_violations(k: u32) -> Self {
+        let guard = unsafe { llxscx::epoch::unprotected() };
+        // Fig. 10(a): entry(∞, w=1) with a single ∞ leaf as its left child.
+        let leaf = Node::leaf(None, None, 1).into_shared(guard);
+        let entry = Node::internal(None, 1, leaf, Shared::null());
+        ChromaticTree {
+            entry: Atomic::from(entry),
+            allowed_violations: k,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Operation counters (rebalancing steps, retries, ...). Cheap,
+    /// always-on relaxed atomics; used by the benchmark harness.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    pub(crate) fn entry<'g>(&self, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        self.entry.load(Ordering::SeqCst, guard)
+    }
+
+    /// The paper's `Search(key)` (Fig. 5): pure reads from `entry` down to a
+    /// leaf, remembering the last three nodes. Also tallies violations on
+    /// the path for the `allowed_violations` policy.
+    pub(crate) fn search<'g>(&self, key: &K, guard: &'g Guard) -> SearchResult<'g, K, V> {
+        let mut gp = Shared::null();
+        let mut p = self.entry(guard);
+        // SAFETY: entry is never removed.
+        let mut leaf = unsafe { p.deref() }.read_child(0, guard);
+        let mut violations = 0u32;
+        loop {
+            // SAFETY: reached by child pointers under `guard` (property C3).
+            let leaf_ref = unsafe { leaf.deref() };
+            let p_ref = unsafe { p.deref() };
+            if leaf_ref.weight() > 1 {
+                violations += leaf_ref.weight() - 1;
+            } else if leaf_ref.weight() == 0 && p_ref.weight() == 0 {
+                violations += 1;
+            }
+            if leaf_ref.is_leaf(guard) {
+                return SearchResult {
+                    gp,
+                    p,
+                    leaf,
+                    violations_seen: violations,
+                };
+            }
+            gp = p;
+            p = leaf;
+            let dir = if leaf_ref.route_left(key) { 0 } else { 1 };
+            leaf = leaf_ref.read_child(dir, guard);
+        }
+    }
+
+    /// Returns the value associated with `key`, if present.
+    ///
+    /// Uses only plain reads (no LLX), exactly like a sequential BST search;
+    /// correctness under concurrency is the paper's property C3 (§5.4).
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = &pin();
+        let res = self.search(key, guard);
+        // SAFETY: see search.
+        let leaf = unsafe { res.leaf.deref() };
+        if leaf.key_eq(key) {
+            leaf.value().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// Whether the dictionary contains `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        let guard = &pin();
+        let res = self.search(key, guard);
+        unsafe { res.leaf.deref() }.key_eq(key)
+    }
+
+    /// Associates `value` with `key`; returns the previously associated
+    /// value, or `None` if `key` was absent. Lock-free; linearizes at the
+    /// SCX of the successful attempt.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        loop {
+            let guard = &pin();
+            let res = self.search(&key, guard);
+            match self.try_insert(&res, &key, &value, guard) {
+                Ok((old, created_violation)) => {
+                    if trace_enabled() {
+                        eprintln!("[{:?}] INSERT committed viol={}", std::thread::current().id(), created_violation);
+                    }
+                    if created_violation {
+                        self.stats.bump_violations_created();
+                        if res.violations_seen + 1 > self.allowed_violations {
+                            self.cleanup(&key);
+                            if trace_enabled() {
+                                eprintln!("[{:?}] INSERT cleanup done", std::thread::current().id());
+                            }
+                        }
+                    }
+                    return old;
+                }
+                Err(()) => self.stats.bump_insert_retries(),
+            }
+        }
+    }
+
+    /// Removes `key`; returns the value that was associated with it, or
+    /// `None` if it was absent. Lock-free; linearizes at the SCX of the
+    /// successful attempt (or, when the key is absent, like a query).
+    pub fn remove(&self, key: &K) -> Option<V> {
+        loop {
+            let guard = &pin();
+            let res = self.search(key, guard);
+            match self.try_delete(&res, key, guard) {
+                Ok((old, created_violation)) => {
+                    if trace_enabled() {
+                        eprintln!("[{:?}] DELETE committed viol={}", std::thread::current().id(), created_violation);
+                    }
+                    if created_violation {
+                        self.stats.bump_violations_created();
+                        if res.violations_seen + 1 > self.allowed_violations {
+                            self.cleanup(key);
+                            if trace_enabled() {
+                                eprintln!("[{:?}] DELETE cleanup done", std::thread::current().id());
+                            }
+                        }
+                    }
+                    return old;
+                }
+                Err(()) => self.stats.bump_delete_retries(),
+            }
+        }
+    }
+
+    /// Number of keys. Takes a traversal snapshot (O(n)); not linearizable
+    /// with respect to concurrent updates, like size in most concurrent maps.
+    pub fn len(&self) -> usize {
+        let guard = &pin();
+        let mut count = 0usize;
+        let mut stack = vec![self.entry(guard)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            // SAFETY: reached from entry under `guard`.
+            let node = unsafe { n.deref() };
+            if node.is_leaf(guard) {
+                if !node.is_sentinel_key() {
+                    count += 1;
+                }
+            } else {
+                stack.push(node.read_child(0, guard));
+                stack.push(node.read_child(1, guard));
+            }
+        }
+        count
+    }
+
+    /// Whether the dictionary is empty (same caveats as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        let guard = &pin();
+        let entry = unsafe { self.entry(guard).deref() };
+        unsafe { entry.read_child(0, guard).deref() }.is_leaf(guard)
+    }
+
+    /// A sorted snapshot of all key/value pairs, by in-order traversal.
+    /// Not atomic with respect to concurrent updates (each key's presence
+    /// is individually linearizable; use [`successor`](Self::successor) for
+    /// atomic adjacent-pair queries).
+    pub fn collect(&self) -> Vec<(K, V)> {
+        let guard = &pin();
+        let mut out = Vec::new();
+        self.collect_rec(self.entry(guard), &mut out, guard);
+        out
+    }
+
+    fn collect_rec<'g>(
+        &self,
+        n: Shared<'g, Node<K, V>>,
+        out: &mut Vec<(K, V)>,
+        guard: &'g Guard,
+    ) {
+        if n.is_null() {
+            return;
+        }
+        let node = unsafe { n.deref() };
+        if node.is_leaf(guard) {
+            if let (Some(k), Some(v)) = (node.key(), node.value()) {
+                out.push((k.clone(), v.clone()));
+            }
+        } else {
+            self.collect_rec(node.read_child(0, guard), out, guard);
+            self.collect_rec(node.read_child(1, guard), out, guard);
+        }
+    }
+}
+
+impl<K, V> Default for ChromaticTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Send + Sync, V: Send + Sync> Drop for ChromaticTree<K, V> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node still in the tree. Descriptors
+        // are released transitively by their reference counts.
+        let guard = unsafe { llxscx::epoch::unprotected() };
+        let mut stack = vec![self.entry.load(Ordering::SeqCst, guard)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access; every node reachable exactly once
+            // (down-tree, indegree 1).
+            unsafe {
+                let node = n.deref();
+                stack.push(node.read_child(0, guard));
+                stack.push(node.read_child(1, guard));
+                llxscx::reclaim::dispose_record(n.as_raw());
+            }
+        }
+    }
+}

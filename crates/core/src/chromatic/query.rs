@@ -1,0 +1,207 @@
+//! Ordered queries: `Successor` and `Predecessor` (paper §5.5).
+//!
+//! These walk to the target leaf performing LLXs, then (when the answer is
+//! in an *adjacent* leaf) walk to that leaf and validate the connecting path
+//! with a VLX, which linearizes the query at the VLX.
+
+use llxscx::epoch::{pin, Guard};
+use llxscx::{llx, vlx, Llx, LlxHandle};
+
+use super::ChromaticTree;
+use crate::node::Node;
+
+type H<'g, K, V> = LlxHandle<'g, Node<K, V>>;
+
+/// Outcome of one attempt; `Interfered` means retry from scratch.
+enum Attempt<T> {
+    Done(T),
+    Interfered,
+}
+
+impl<K, V> ChromaticTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// The smallest key strictly greater than `key` (and its value), or
+    /// `None` if no such key exists. Linearizable (§5.5).
+    pub fn successor(&self, key: &K) -> Option<(K, V)> {
+        loop {
+            let guard = &pin();
+            if let Attempt::Done(r) = self.try_adjacent(key, 0, guard) {
+                return r;
+            }
+        }
+    }
+
+    /// The largest key strictly smaller than `key` (and its value), or
+    /// `None` if no such key exists. Linearizable (mirror of `successor`).
+    pub fn predecessor(&self, key: &K) -> Option<(K, V)> {
+        loop {
+            let guard = &pin();
+            if let Attempt::Done(r) = self.try_adjacent(key, 1, guard) {
+                return r;
+            }
+        }
+    }
+
+    /// One attempt at an adjacent-leaf query. `d = 0` finds the successor
+    /// (remember the last *left* turn, then take the leftmost leaf of its
+    /// right subtree); `d = 1` the predecessor (mirror).
+    fn try_adjacent<'g>(
+        &self,
+        key: &K,
+        d: usize,
+        guard: &'g Guard,
+    ) -> Attempt<Option<(K, V)>> {
+        let o = 1 - d;
+        let entry = self.entry(guard);
+        // Path of handles from the last `d`-side turn down to the current
+        // node; the final VLX validates exactly the region connecting the
+        // two adjacent leaves.
+        let mut path: Vec<H<'g, K, V>> = Vec::with_capacity(32);
+        let mut last_turn: Option<H<'g, K, V>> = None;
+
+        let mut h = match llx(entry, guard) {
+            Llx::Snapshot(h) => h,
+            _ => return Attempt::Interfered,
+        };
+        loop {
+            let node = h.node_ref();
+            if node.is_leaf(guard) {
+                break;
+            }
+            let go_left = node.route_left(key);
+            let turn_matches = (d == 0 && go_left) || (d == 1 && !go_left);
+            let next = if go_left { h.left() } else { h.right() };
+            if turn_matches {
+                last_turn = Some(h);
+                path.clear();
+                path.push(h);
+            }
+            h = match llx(next, guard) {
+                Llx::Snapshot(h) => h,
+                _ => return Attempt::Interfered,
+            };
+            path.push(h);
+        }
+
+        let leaf = h.node_ref();
+        if d == 0 {
+            // Successor: the dictionary is empty iff the only left turn was
+            // at `entry` itself.
+            if let Some(t) = &last_turn {
+                if t.node == entry {
+                    return Attempt::Done(None);
+                }
+            }
+            // The leaf on the search path already answers the query.
+            if let Some(k) = leaf.key() {
+                if key < k {
+                    return Attempt::Done(Some((k.clone(), leaf.value().cloned().unwrap())));
+                }
+            }
+        } else {
+            // Predecessor: the leaf on the search path already answers the
+            // query when its key is smaller than the probe (this includes
+            // paths with no right turn that end at a small leaf).
+            if let Some(k) = leaf.key() {
+                if k < key {
+                    return Attempt::Done(Some((k.clone(), leaf.value().cloned().unwrap())));
+                }
+            }
+            // Otherwise: never having turned right means key ≤ every key,
+            // which the generic fall-through below reports as None.
+        }
+        let Some(turn) = last_turn else {
+            return Attempt::Done(None);
+        };
+        if turn.node == entry {
+            return Attempt::Done(None);
+        }
+
+        // The answer is the adjacent leaf: the `d`-most leaf of the turn
+        // node's `o`-side subtree (e.g. for successor: leftmost leaf of the
+        // right subtree of the last left turn).
+        let mut cur = turn.child(o);
+        let adj = loop {
+            let h = match llx(cur, guard) {
+                Llx::Snapshot(h) => h,
+                _ => return Attempt::Interfered,
+            };
+            path.push(h);
+            if h.node_ref().is_leaf(guard) {
+                break h;
+            }
+            cur = h.child(d);
+        };
+        let result = adj
+            .node_ref()
+            .key()
+            .map(|k| (k.clone(), adj.node_ref().value().cloned().unwrap()));
+        if vlx(&path, guard) {
+            Attempt::Done(result)
+        } else {
+            Attempt::Interfered
+        }
+    }
+
+    /// The smallest key (and value), or `None` when empty. Implemented as
+    /// an adjacent-leaf walk validated by VLX.
+    pub fn first(&self) -> Option<(K, V)> {
+        loop {
+            let guard = &pin();
+            match self.try_extreme(0, guard) {
+                Attempt::Done(r) => return r,
+                Attempt::Interfered => continue,
+            }
+        }
+    }
+
+    /// The largest key (and value), or `None` when empty.
+    pub fn last(&self) -> Option<(K, V)> {
+        loop {
+            let guard = &pin();
+            match self.try_extreme(1, guard) {
+                Attempt::Done(r) => return r,
+                Attempt::Interfered => continue,
+            }
+        }
+    }
+
+    fn try_extreme<'g>(&self, d: usize, guard: &'g Guard) -> Attempt<Option<(K, V)>> {
+        // Descend always to side `d` inside the chromatic tree; sentinels
+        // force the first two hops left.
+        let mut path: Vec<H<'g, K, V>> = Vec::with_capacity(32);
+        let mut cur = self.entry(guard);
+        let leaf = loop {
+            let h = match llx(cur, guard) {
+                Llx::Snapshot(h) => h,
+                _ => return Attempt::Interfered,
+            };
+            path.push(h);
+            let node = h.node_ref();
+            if node.is_leaf(guard) {
+                break h;
+            }
+            // Sentinel-keyed internal nodes route to the left (the whole
+            // chromatic tree hangs off their left child); inside the tree
+            // take side `d`. In the empty tree this ends at the ∞ leaf,
+            // whose `None` key maps to a `None` result.
+            cur = if node.is_sentinel_key() {
+                h.left()
+            } else {
+                h.child(d)
+            };
+        };
+        let result = leaf
+            .node_ref()
+            .key()
+            .map(|k| (k.clone(), leaf.node_ref().value().cloned().unwrap()));
+        if vlx(&path, guard) {
+            Attempt::Done(result)
+        } else {
+            Attempt::Interfered
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! `TryInsert` and `TryDelete` (paper Figs. 6, 12, 13): the localized
+//! updates, each a single instance of the tree update template.
+
+use llxscx::epoch::Guard;
+use llxscx::{llx, scx, Llx, ScxArgs};
+
+use super::{ChromaticTree, SearchResult};
+use crate::node::Node;
+
+impl<K, V> ChromaticTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// One attempt to insert `key`. On success returns the previous value
+    /// and whether the update created a violation; `Err(())` means a
+    /// concurrent update interfered and the caller should retry.
+    ///
+    /// Two template instances (paper Fig. 11):
+    /// * **Insert2** (`key` present): replace the leaf by a fresh leaf with
+    ///   the same weight — `V = ⟨p, l⟩`, `R = ⟨l⟩`.
+    /// * **Insert1** (`key` absent): replace the leaf by a fresh internal
+    ///   node (weight `l.w − 1`) with two fresh weight-1 leaves: one for
+    ///   `key` and one copying `l` — `V = ⟨p, l⟩`, `R = ⟨l⟩`.
+    pub(crate) fn try_insert<'g>(
+        &self,
+        res: &SearchResult<'g, K, V>,
+        key: &K,
+        value: &V,
+        guard: &'g Guard,
+    ) -> Result<(Option<V>, bool), ()> {
+        let hp = match llx(res.p, guard) {
+            Llx::Snapshot(h) => h,
+            _ => return Err(()),
+        };
+        // Confirm the leaf is still the parent's child, and find which side.
+        let dir = if hp.left() == res.leaf {
+            0
+        } else if hp.right() == res.leaf {
+            1
+        } else {
+            return Err(());
+        };
+        let hl = match llx(res.leaf, guard) {
+            Llx::Snapshot(h) => h,
+            _ => return Err(()),
+        };
+        let l = hl.node_ref();
+        let p_weight = hp.node_ref().weight();
+
+        if l.key_eq(key) {
+            // Insert2: value replacement; cannot create a violation
+            // (leaves always have weight ≥ 1).
+            let old = l.value().cloned();
+            let new_leaf =
+                Node::leaf(Some(key.clone()), Some(value.clone()), l.weight()).into_shared(guard);
+            let ok = scx(
+                &ScxArgs {
+                    v: &[hp, hl],
+                    finalize: 0b10,
+                    fld_record: 0,
+                    fld_idx: dir,
+                    new: new_leaf,
+                },
+                guard,
+            );
+            if ok {
+                Ok((old, false))
+            } else {
+                // SAFETY: `new_leaf` was never published.
+                unsafe { llxscx::reclaim::dispose_record(new_leaf.as_raw()) };
+                Err(())
+            }
+        } else {
+            // Insert1: grow the tree by one leaf. Weight rule: like the
+            // Delete of Fig. 6 (line 24), force weight 1 whenever the new
+            // node becomes the chromatic tree root (its parent carries the
+            // sentinel key) — this keeps the root black, which Lemma 15.2's
+            // "rebalancing never touches the sentinels" argument relies on.
+            // (Fig. 12 line 28 only special-cases `l` itself being a
+            // sentinel; taken literally that makes the root red on the
+            // second insertion and the ensuing red-red fix would replace
+            // the second sentinel.)
+            let new_weight = if l.is_sentinel_key() || hp.node_ref().is_sentinel_key() {
+                1
+            } else {
+                l.weight().max(1) - 1
+            };
+            // Both children of the new internal are *fresh weight-1 leaves*
+            // (Fig. 11: "+ + 1 1"): the existing leaf is copied, not reused,
+            // because its weight must drop to 1 to keep path sums equal
+            // (paths through a reused overweight leaf would gain `l.w − 1`).
+            // Correspondingly the old leaf is finalized (R = ⟨l⟩, Fig. 12).
+            let new_leaf = Node::leaf(Some(key.clone()), Some(value.clone()), 1).into_shared(guard);
+            let l_copy = Node::leaf(l.key().cloned(), l.value().cloned(), 1).into_shared(guard);
+            let new = if l.route_left(key) {
+                // key < l.k: the new internal routes on l's key.
+                Node::internal(l.key().cloned(), new_weight, new_leaf, l_copy)
+            } else {
+                Node::internal(Some(key.clone()), new_weight, l_copy, new_leaf)
+            }
+            .into_shared(guard);
+            let ok = scx(
+                &ScxArgs {
+                    v: &[hp, hl],
+                    finalize: 0b10, // R = ⟨l⟩: the old leaf is replaced by its copy
+                    fld_record: 0,
+                    fld_idx: dir,
+                    new,
+                },
+                guard,
+            );
+            if ok {
+                Ok((None, new_weight == 0 && p_weight == 0))
+            } else {
+                // SAFETY: none of the nodes were published.
+                unsafe {
+                    llxscx::reclaim::dispose_record(new.as_raw());
+                    llxscx::reclaim::dispose_record(l_copy.as_raw());
+                    llxscx::reclaim::dispose_record(new_leaf.as_raw());
+                }
+                Err(())
+            }
+        }
+    }
+
+    /// One attempt to delete `key` (paper Fig. 6). Replaces the leaf's
+    /// sibling subtree root for the parent: `V = ⟨gp, p, l, s⟩` in
+    /// breadth-first order, `R = ⟨p, l, s⟩`, and `new` is a fresh copy of
+    /// the sibling with weight `p.w + s.w` (1 when the copy becomes the
+    /// chromatic tree root). A resulting weight > 1 is an overweight
+    /// violation, reported to the caller.
+    pub(crate) fn try_delete<'g>(
+        &self,
+        res: &SearchResult<'g, K, V>,
+        key: &K,
+        guard: &'g Guard,
+    ) -> Result<(Option<V>, bool), ()> {
+        // Empty tree: Fig. 10(a), no grandparent exists.
+        if res.gp.is_null() {
+            return Ok((None, false));
+        }
+        // Key absent: linearizes like a query.
+        // SAFETY: reached from entry under `guard`.
+        if !unsafe { res.leaf.deref() }.key_eq(key) {
+            return Ok((None, false));
+        }
+
+        let hgp = match llx(res.gp, guard) {
+            Llx::Snapshot(h) => h,
+            _ => return Err(()),
+        };
+        let dir_gp = if hgp.left() == res.p {
+            0
+        } else if hgp.right() == res.p {
+            1
+        } else {
+            return Err(());
+        };
+        let hp = match llx(res.p, guard) {
+            Llx::Snapshot(h) => h,
+            _ => return Err(()),
+        };
+        let (sibling, leaf_is_left) = if hp.left() == res.leaf {
+            (hp.right(), true)
+        } else if hp.right() == res.leaf {
+            (hp.left(), false)
+        } else {
+            return Err(());
+        };
+        let hl = match llx(res.leaf, guard) {
+            Llx::Snapshot(h) => h,
+            _ => return Err(()),
+        };
+        let hs = match llx(sibling, guard) {
+            Llx::Snapshot(h) => h,
+            _ => return Err(()),
+        };
+
+        let gp_ref = hgp.node_ref();
+        let p_ref = hp.node_ref();
+        let s_ref = hs.node_ref();
+        let new_weight = if gp_ref.is_sentinel_key() || p_ref.is_sentinel_key() {
+            1
+        } else {
+            p_ref.weight() + s_ref.weight()
+        };
+        // Fresh copy of the sibling: key/value are immutable (read from the
+        // node), children come from the LLX snapshot (they are mutable).
+        let new = if s_ref.is_leaf(guard) {
+            Node::leaf(s_ref.key().cloned(), s_ref.value().cloned(), new_weight)
+        } else {
+            Node::internal(s_ref.key().cloned(), new_weight, hs.left(), hs.right())
+        }
+        .into_shared(guard);
+
+        // V in breadth-first order (PC8): the leaf and sibling are ordered
+        // left-to-right under their parent.
+        let v = if leaf_is_left {
+            [hgp, hp, hl, hs]
+        } else {
+            [hgp, hp, hs, hl]
+        };
+        let ok = scx(
+            &ScxArgs {
+                v: &v,
+                finalize: 0b1110, // R = {p, l, s}
+                fld_record: 0,
+                fld_idx: dir_gp,
+                new,
+            },
+            guard,
+        );
+        if ok {
+            let old = hl.node_ref().value().cloned();
+            Ok((old, new_weight > 1))
+        } else {
+            // SAFETY: `new` was never published.
+            unsafe { llxscx::reclaim::dispose_record(new.as_raw()) };
+            Err(())
+        }
+    }
+}

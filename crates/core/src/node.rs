@@ -1,0 +1,172 @@
+//! The Data-record used by all trees in this crate: a binary tree node with
+//! immutable key/value/weight and two mutable child pointers.
+
+use std::sync::atomic::Ordering;
+
+use llxscx::epoch::{Atomic, Guard, Owned, Shared};
+use llxscx::{Record, RecordHeader};
+
+/// A node of a leaf-oriented chromatic tree.
+///
+/// Following the paper (§5.1), the child pointers are the only mutable
+/// fields; `key`, `value` and `weight` are immutable, so updates that would
+/// change them replace the node by a fresh copy. `key = None` encodes the
+/// sentinel key `∞`, which is larger than every dictionary key.
+pub struct Node<K, V> {
+    header: RecordHeader<Self>,
+    children: [Atomic<Self>; 2],
+    key: Option<K>,
+    value: Option<V>,
+    weight: u32,
+}
+
+impl<K: Send + Sync, V: Send + Sync> Record for Node<K, V> {
+    const ARITY: usize = 2;
+    fn header(&self) -> &RecordHeader<Self> {
+        &self.header
+    }
+    fn child(&self, i: usize) -> &Atomic<Self> {
+        &self.children[i]
+    }
+}
+
+impl<K: Send + Sync, V: Send + Sync> Node<K, V> {
+    /// A leaf holding `key` (or the sentinel `∞` if `None`).
+    pub fn leaf(key: Option<K>, value: Option<V>, weight: u32) -> Owned<Self> {
+        Owned::new(Node {
+            header: RecordHeader::new(),
+            children: [Atomic::null(), Atomic::null()],
+            key,
+            value,
+            weight,
+        })
+    }
+
+    /// An internal routing node with the given children.
+    ///
+    /// The children are stored with `Release` ordering, but the node is only
+    /// published by the SCX's update CAS (SeqCst), which is what makes it
+    /// visible to other threads.
+    pub fn internal(
+        key: Option<K>,
+        weight: u32,
+        left: Shared<'_, Self>,
+        right: Shared<'_, Self>,
+    ) -> Owned<Self> {
+        let node = Node {
+            header: RecordHeader::new(),
+            children: [Atomic::null(), Atomic::null()],
+            key,
+            value: None,
+            weight,
+        };
+        node.children[0].store(left, Ordering::Release);
+        node.children[1].store(right, Ordering::Release);
+        Owned::new(node)
+    }
+
+    /// The node's key; `None` is the sentinel `∞`.
+    pub fn key(&self) -> Option<&K> {
+        self.key.as_ref()
+    }
+
+    /// The value stored in a leaf (`None` for internal and sentinel nodes).
+    pub fn value(&self) -> Option<&V> {
+        self.value.as_ref()
+    }
+
+    /// The node's weight (0 = red, 1 = black, >1 = overweight).
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// Whether this node carries the sentinel key `∞`.
+    pub fn is_sentinel_key(&self) -> bool {
+        self.key.is_none()
+    }
+
+    /// `true` iff a search for `probe` descends into the left child:
+    /// the BST routing rule `probe < node.key`, where `∞` compares greater
+    /// than every key.
+    pub fn route_left<Q>(&self, probe: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match &self.key {
+            None => true,
+            Some(k) => probe < k.borrow(),
+        }
+    }
+
+    /// Whether the node's key equals `probe` (the sentinel never does).
+    pub fn key_eq<Q>(&self, probe: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match &self.key {
+            None => false,
+            Some(k) => k.borrow() == probe,
+        }
+    }
+
+    /// Loads the left (`0`) or right (`1`) child with a plain synchronized
+    /// read — the access pattern of the paper's read-only searches.
+    pub fn read_child<'g>(&self, dir: usize, guard: &'g Guard) -> Shared<'g, Self> {
+        self.children[dir].load(Ordering::SeqCst, guard)
+    }
+
+    /// Whether this node is a leaf. Leaves are created with both children
+    /// null and children of internal nodes are never set to null, so reading
+    /// one child suffices.
+    pub fn is_leaf(&self, guard: &Guard) -> bool {
+        self.read_child(0, guard).is_null()
+    }
+}
+
+/// Compares an optional (sentinel-aware) key with a probe key for routing:
+/// `None` (= `∞`) is greater than everything.
+pub fn probe_lt_key<K: Ord>(probe: &K, key: Option<&K>) -> bool {
+    match key {
+        None => true,
+        Some(k) => probe < k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llxscx::pin;
+
+    #[test]
+    fn sentinel_routing() {
+        let guard = &pin();
+        let leaf = Node::<u64, u64>::leaf(None, None, 1).into_shared(guard);
+        let n = unsafe { leaf.deref() };
+        assert!(n.route_left(&u64::MAX));
+        assert!(!n.key_eq(&0));
+        assert!(n.is_sentinel_key());
+        assert!(n.is_leaf(guard));
+        unsafe { llxscx::reclaim::dispose_record(leaf.as_raw()) };
+    }
+
+    #[test]
+    fn leaf_vs_internal() {
+        let guard = &pin();
+        let a = Node::leaf(Some(1u64), Some(10u64), 1).into_shared(guard);
+        let b = Node::leaf(Some(2u64), Some(20u64), 1).into_shared(guard);
+        let p = Node::internal(Some(2u64), 1, a, b).into_shared(guard);
+        let pn = unsafe { p.deref() };
+        assert!(!pn.is_leaf(guard));
+        assert_eq!(pn.read_child(0, guard), a);
+        assert_eq!(pn.read_child(1, guard), b);
+        assert!(pn.route_left(&1));
+        assert!(!pn.route_left(&2));
+        unsafe {
+            llxscx::reclaim::dispose_record(a.as_raw());
+            llxscx::reclaim::dispose_record(b.as_raw());
+            llxscx::reclaim::dispose_record(p.as_raw());
+        }
+    }
+}

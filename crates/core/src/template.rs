@@ -1,0 +1,109 @@
+//! The tree update template (paper §4, Fig. 3), as a reusable driver.
+//!
+//! An update that follows the template performs LLXs on a sequence of
+//! records chosen on the fly (`NextNode`/`Condition` in the paper), then a
+//! single SCX computed from the snapshots (`SCX-Arguments`), returning a
+//! locally computed result. The paper proves (§4.1) that *any* data
+//! structure whose updates follow this discipline — with `SCX-Arguments`
+//! satisfying postconditions PC1–PC9 — is linearizable and non-blocking,
+//! and that each successful update atomically replaces the connected
+//! subgraph `R ∪ F_N` by `N ∪ F_N`.
+//!
+//! The chromatic tree in this crate uses hand-unrolled instances of the
+//! template for speed (as the paper's pseudocode does); the `nbbst` crate
+//! demonstrates this generic driver.
+
+use llxscx::epoch::{Guard, Shared};
+use llxscx::{llx, scx, Llx, LlxHandle, Record, ScxArgs};
+
+/// What the update's local computation decides after each LLX
+/// (`Condition` + `NextNode` + `SCX-Arguments` from Fig. 3, fused).
+pub enum TemplateStep<'g, N: Record, R> {
+    /// Perform an LLX on this record next (it must have been reached via
+    /// snapshots of earlier records, per the template).
+    Llx(Shared<'g, N>),
+    /// Enough records are loaded: attempt the SCX.
+    Scx {
+        /// Bitmask over the handle sequence selecting `R ⊆ V` (PC2).
+        finalize: u8,
+        /// Index of the record holding the modified field (PC3).
+        fld_record: usize,
+        /// Which child pointer of that record to swing.
+        fld_idx: usize,
+        /// Root of the freshly allocated subgraph `N` (PC4/PC7).
+        new: Shared<'g, N>,
+        /// Every node allocated for `N`, so a failed SCX can release them
+        /// (they were never published).
+        created: Vec<Shared<'g, N>>,
+        /// Returned if the SCX succeeds (`Result` in Fig. 3).
+        result: R,
+    },
+    /// The update completed without modifying the tree (e.g. deleting an
+    /// absent key): linearized like a query.
+    Done(R),
+    /// A structural check failed; the caller should restart from scratch.
+    Abort,
+}
+
+/// Why a template attempt failed (the caller re-runs the whole update,
+/// including its preliminary search, as the paper's operations do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interfered;
+
+/// Runs one attempt of the tree update template.
+///
+/// `decide` is invoked with the snapshots collected so far (the paper's
+/// `s_0, s'_0, …, s_i, s'_i` — immutable fields are read through the
+/// handles) and chooses the next step. The driver guarantees the LLX/SCX
+/// linking discipline; `decide` must guarantee PC1–PC9 for the provably
+/// correct behaviour of §4.1 to apply.
+pub fn tree_update<'g, N, R>(
+    start: Shared<'g, N>,
+    guard: &'g Guard,
+    mut decide: impl FnMut(&[LlxHandle<'g, N>]) -> TemplateStep<'g, N, R>,
+) -> Result<R, Interfered>
+where
+    N: Record,
+{
+    let mut handles: Vec<LlxHandle<'g, N>> = Vec::with_capacity(8);
+    let mut target = start;
+    loop {
+        match llx(target, guard) {
+            Llx::Snapshot(h) => handles.push(h),
+            _ => return Err(Interfered),
+        }
+        match decide(&handles) {
+            TemplateStep::Llx(next) => target = next,
+            TemplateStep::Scx {
+                finalize,
+                fld_record,
+                fld_idx,
+                new,
+                created,
+                result,
+            } => {
+                let ok = scx(
+                    &ScxArgs {
+                        v: &handles,
+                        finalize,
+                        fld_record,
+                        fld_idx,
+                        new,
+                    },
+                    guard,
+                );
+                if ok {
+                    return Ok(result);
+                }
+                for n in created {
+                    // SAFETY: allocated by `decide` for this attempt and
+                    // never published (the SCX failed).
+                    unsafe { llxscx::reclaim::dispose_record(n.as_raw()) };
+                }
+                return Err(Interfered);
+            }
+            TemplateStep::Done(r) => return Ok(r),
+            TemplateStep::Abort => return Err(Interfered),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+use nbtree::ChromaticTree;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+#[test]
+fn find_first_bad_insert() {
+    let t = ChromaticTree::new();
+    for i in 0..200u64 {
+        t.insert(i, i);
+        let r = t.audit();
+        assert!(r.is_valid(), "first failure at insert #{i}: {:?}", r.errors);
+    }
+}
+
+#[test]
+fn pred_succ_repro() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let t = ChromaticTree::new();
+    let mut model = BTreeMap::new();
+    for step in 0..2000 {
+        let k = rng.gen_range(0..512u64);
+        if rng.gen_bool(0.7) {
+            t.insert(k, k);
+            model.insert(k, k);
+        } else {
+            t.remove(&k);
+            model.remove(&k);
+        }
+        let probe = rng.gen_range(0..512u64);
+        let succ = model.range(probe + 1..).next().map(|(k, v)| (*k, *v));
+        let got_s = t.successor(&probe);
+        if got_s != succ {
+            panic!("step {step}: successor({probe}) = {got_s:?}, expected {succ:?}; contents={:?}", t.collect().iter().map(|x|x.0).collect::<Vec<_>>());
+        }
+        let pred = model.range(..probe).next_back().map(|(k, v)| (*k, *v));
+        let got_p = t.predecessor(&probe);
+        if got_p != pred {
+            panic!("step {step}: predecessor({probe}) = {got_p:?}, expected {pred:?}; keys={:?}", t.collect().iter().map(|x|x.0).collect::<Vec<_>>());
+        }
+    }
+}

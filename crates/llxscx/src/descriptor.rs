@@ -1,0 +1,93 @@
+//! SCX-records: the descriptors that coordinate multi-record updates.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+
+use crossbeam_epoch::Shared;
+
+use crate::record::{Record, MAX_V};
+
+/// SCX in progress: the records in `V` that point here are frozen.
+pub(crate) const IN_PROGRESS: u8 = 0;
+/// SCX took effect: the update CAS happened and `R` is finalized.
+pub(crate) const COMMITTED: u8 = 1;
+/// SCX failed: records that point here are unfrozen.
+pub(crate) const ABORTED: u8 = 2;
+
+/// The descriptor created by each invocation of [`scx`](crate::scx).
+///
+/// A successful freezing CAS installs a pointer to this record into the
+/// `info` field of each record in `V` (in order). While `state` is
+/// [`IN_PROGRESS`] those records are *frozen*: concurrent LLXs fail (after
+/// helping) and concurrent SCXs cannot freeze them. The descriptor contains
+/// everything needed for any thread to *help* complete the SCX, which is
+/// what makes the construction lock-free.
+///
+/// All fields except `state`, `all_frozen` and `refs` are immutable after
+/// construction.
+///
+/// # Reclamation
+///
+/// `refs` counts (a) records whose `info` currently points at this
+/// descriptor and (b) live descriptors that list this one in `info_fields`.
+/// The descriptor is freed when the count drops to zero; see
+/// [`reclaim`](crate::reclaim).
+pub struct ScxRecord<N> {
+    /// [`IN_PROGRESS`], [`COMMITTED`] or [`ABORTED`]. Transitions out of
+    /// `IN_PROGRESS` happen exactly once, via CAS.
+    pub(crate) state: AtomicU8,
+    /// Set once every record in `V` has been frozen. Read by helpers whose
+    /// freezing CAS failed to distinguish "SCX already done" from "must
+    /// abort" (paper, Figure 1 of PODC'13).
+    pub(crate) all_frozen: AtomicBool,
+    /// Reference count for reclamation (not part of the PODC'13 algorithm,
+    /// which assumed a garbage collector).
+    pub(crate) refs: AtomicUsize,
+    /// Number of live entries in `v` / `info_fields`.
+    pub(crate) len: usize,
+    /// The records to freeze, in `V`-sequence order.
+    pub(crate) v: [*const N; MAX_V],
+    /// For each record in `v`, the `info` value observed by the linked LLX —
+    /// the expected value of the freezing CAS.
+    pub(crate) info_fields: [*const ScxRecord<N>; MAX_V],
+    /// Bitmask over `v` selecting `R`, the records to finalize.
+    pub(crate) finalize_mask: u8,
+    /// The record containing the field to modify (must be in `v`).
+    pub(crate) fld_node: *const N,
+    /// Which child of `fld_node` to modify.
+    pub(crate) fld_idx: usize,
+    /// Expected value of the field (read by the linked LLX on `fld_node`).
+    pub(crate) old: *const N,
+    /// New value to store.
+    pub(crate) new: *const N,
+}
+
+// SAFETY: the raw pointers are owned by the epoch-managed heap; descriptors
+// are shared across threads only via `Atomic` info fields and all access to
+// pointees is mediated by epoch guards. Mutable state is atomic.
+unsafe impl<N: Record> Send for ScxRecord<N> {}
+unsafe impl<N: Record> Sync for ScxRecord<N> {}
+
+impl<N: Record> ScxRecord<N> {
+    /// Current state. `Relaxed` would be unsound for the protocol; helpers
+    /// rely on seeing `all_frozen`/field writes ordered before `COMMITTED`.
+    pub(crate) fn load_state(&self) -> u8 {
+        self.state.load(Ordering::SeqCst)
+    }
+
+    /// Whether this SCX committed (for testing / introspection).
+    pub fn committed(&self) -> bool {
+        self.load_state() == COMMITTED
+    }
+}
+
+/// State presented by a (possibly null) `info` pointer: a record that was
+/// never frozen behaves as if its last SCX aborted.
+pub(crate) fn state_of<N: Record>(info: Shared<'_, ScxRecord<N>>) -> u8 {
+    if info.is_null() {
+        ABORTED
+    } else {
+        // SAFETY: non-null info pointers are valid while the caller's guard
+        // is pinned (descriptor frees are epoch-deferred).
+        unsafe { info.deref() }.load_state()
+    }
+}

@@ -1,0 +1,477 @@
+//! The LLX, SCX and VLX operations.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+
+use crossbeam_epoch::{Guard, Owned, Shared};
+
+use crate::descriptor::{state_of, ScxRecord, ABORTED, COMMITTED, IN_PROGRESS};
+use crate::reclaim::{defer_dec_refs, defer_dispose_record, dec_refs, inc_refs};
+use crate::record::{load_info, quiescent, Record, MAX_ARITY, MAX_V};
+
+/// Result of an [`llx`].
+pub enum Llx<'g, N: Record> {
+    /// The record was quiescent; its mutable fields were snapshotted.
+    Snapshot(LlxHandle<'g, N>),
+    /// A concurrent SCX interfered; the caller should retry its update.
+    Fail,
+    /// The record has been finalized (removed from the structure).
+    Finalized,
+}
+
+impl<'g, N: Record> Llx<'g, N> {
+    /// Unwraps the snapshot, panicking on `Fail`/`Finalized`. Test helper.
+    pub fn unwrap(self) -> LlxHandle<'g, N> {
+        match self {
+            Llx::Snapshot(h) => h,
+            Llx::Fail => panic!("LLX failed"),
+            Llx::Finalized => panic!("LLX returned Finalized"),
+        }
+    }
+
+    /// `Some(handle)` for a snapshot, `None` otherwise.
+    pub fn ok(self) -> Option<LlxHandle<'g, N>> {
+        match self {
+            Llx::Snapshot(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A successful LLX: the record, the descriptor observed in its `info`
+/// field, and a snapshot of its mutable fields.
+///
+/// The handle borrows the epoch [`Guard`] it was created under, which
+/// enforces the paper's *linking* discipline: an SCX/VLX can only consume
+/// handles produced under the same pin, so the observed `info` values are
+/// still protected when the freezing CASes run.
+pub struct LlxHandle<'g, N: Record> {
+    /// The record that was snapshotted.
+    pub node: Shared<'g, N>,
+    pub(crate) info: Shared<'g, ScxRecord<N>>,
+    pub(crate) children: [Shared<'g, N>; MAX_ARITY],
+}
+
+impl<'g, N: Record> Clone for LlxHandle<'g, N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'g, N: Record> Copy for LlxHandle<'g, N> {}
+
+impl<'g, N: Record> LlxHandle<'g, N> {
+    /// The snapshotted value of mutable field `i`.
+    pub fn child(&self, i: usize) -> Shared<'g, N> {
+        debug_assert!(i < N::ARITY);
+        self.children[i]
+    }
+
+    /// Convenience for binary trees: snapshot of field 0.
+    pub fn left(&self) -> Shared<'g, N> {
+        self.children[0]
+    }
+
+    /// Convenience for binary trees: snapshot of field 1.
+    pub fn right(&self) -> Shared<'g, N> {
+        self.children[1]
+    }
+
+    /// The snapshotted record, dereferenced.
+    pub fn node_ref(&self) -> &'g N {
+        // SAFETY: a snapshot is only produced for a record that was in the
+        // structure at the LLX's linearization point; it stays allocated for
+        // the guard's lifetime (frees are epoch-deferred).
+        unsafe { self.node.deref() }
+    }
+}
+
+/// Load-link extended (PODC'13, Figure 1).
+///
+/// Attempts to snapshot the mutable fields of `node`. Helps any in-progress
+/// SCX it encounters before reporting `Fail`/`Finalized`, which is what
+/// makes the ensemble lock-free.
+pub fn llx<'g, N: Record>(node: Shared<'g, N>, guard: &'g Guard) -> Llx<'g, N> {
+    // SAFETY: caller obtained `node` from the structure under `guard`.
+    let n = unsafe { node.deref() };
+    let header = n.header();
+    let marked1 = header.marked.load(Ordering::SeqCst);
+    let (rinfo, state) = load_info(n, guard);
+
+    if quiescent(state, marked1) {
+        // Read the mutable fields, then confirm `info` is unchanged: any SCX
+        // that modifies a field must first freeze the record by installing a
+        // fresh descriptor, so an unchanged `info` certifies the snapshot.
+        let mut children = [Shared::null(); MAX_ARITY];
+        for (i, slot) in children.iter_mut().enumerate().take(N::ARITY) {
+            *slot = n.child(i).load(Ordering::SeqCst, guard);
+        }
+        if header.info.load(Ordering::SeqCst, guard) == rinfo {
+            return Llx::Snapshot(LlxHandle {
+                node,
+                info: rinfo,
+                children,
+            });
+        }
+    }
+
+    // The record is frozen or finalized. Re-read the descriptor's state (it
+    // may have advanced) and help if it is still in progress.
+    let state_now = state_of(rinfo);
+    let done = state_now == COMMITTED
+        || (state_now == IN_PROGRESS && {
+            // SAFETY: rinfo non-null (IN_PROGRESS), protected by `guard`.
+            unsafe { help(rinfo, guard) }
+        });
+    if done && marked1 {
+        return Llx::Finalized;
+    }
+    let cur = header.info.load(Ordering::SeqCst, guard);
+    if state_of(cur) == IN_PROGRESS {
+        // SAFETY: non-null (IN_PROGRESS), protected by `guard`.
+        unsafe { help(cur, guard) };
+    }
+    Llx::Fail
+}
+
+/// Arguments for [`scx`], mirroring `SCX(V, R, fld, new)` from the paper.
+pub struct ScxArgs<'a, 'g, N: Record> {
+    /// The `V` sequence: handles from linked LLXs, ordered per template
+    /// postcondition PC8 (a fixed tree-traversal order).
+    pub v: &'a [LlxHandle<'g, N>],
+    /// Bitmask over `v` selecting `R`, the records to finalize (PC2).
+    pub finalize: u8,
+    /// Index into `v` of the record whose field is modified (PC3).
+    pub fld_record: usize,
+    /// Which mutable field of that record is modified.
+    pub fld_idx: usize,
+    /// The new value. Must never have been stored in the field before
+    /// (constraint 1; use a freshly allocated record — PC7).
+    pub new: Shared<'g, N>,
+}
+
+/// Store-conditional extended (PODC'13, Figure 1).
+///
+/// Returns `true` if the SCX took effect: atomically, each record in `V` was
+/// unchanged since its linked LLX, the designated field was updated to
+/// `new`, and every record in `R` was finalized (and retired through the
+/// epoch collector). Returns `false` if some record changed first.
+pub fn scx<'g, N: Record>(args: &ScxArgs<'_, 'g, N>, guard: &'g Guard) -> bool {
+    let len = args.v.len();
+    assert!(len > 0 && len <= MAX_V, "SCX V-sequence length {len} out of range");
+    assert!(args.fld_record < len, "fld_record out of range");
+    assert!(args.fld_idx < N::ARITY, "fld_idx out of range");
+    debug_assert!(
+        (args.finalize as usize) < (1usize << len),
+        "finalize mask selects records outside V"
+    );
+
+    let mut v = [std::ptr::null::<N>(); MAX_V];
+    let mut info_fields = [std::ptr::null::<ScxRecord<N>>(); MAX_V];
+    for (i, h) in args.v.iter().enumerate() {
+        v[i] = h.node.as_raw();
+        info_fields[i] = h.info.as_raw();
+        debug_assert!(!v[i].is_null(), "V contains a null record");
+    }
+    let old = args.v[args.fld_record].children[args.fld_idx];
+
+    let desc = Owned::new(ScxRecord {
+        state: AtomicU8::new(IN_PROGRESS),
+        all_frozen: AtomicBool::new(false),
+        refs: AtomicUsize::new(0),
+        len,
+        v,
+        info_fields,
+        finalize_mask: args.finalize,
+        fld_node: v[args.fld_record],
+        fld_idx: args.fld_idx,
+        old: old.as_raw(),
+        new: args.new.as_raw(),
+    });
+
+    // Keep the expected descriptors alive while this one is: a stale helper
+    // CASes info fields against these pointers, so they must not be recycled
+    // (see reclaim module docs). Increment under the same pin as the LLXs
+    // that observed them.
+    for f in info_fields.iter().take(len) {
+        if !f.is_null() {
+            // SAFETY: observed installed under `guard` by the linked LLX.
+            unsafe { inc_refs(*f) };
+        }
+    }
+
+    let desc = desc.into_shared(guard);
+    // SAFETY: desc freshly allocated, protected by `guard`.
+    let ok = unsafe { help(desc, guard) };
+    if !ok {
+        // If the descriptor was never installed anywhere, no other thread
+        // ever saw it (helpers only discover descriptors via info fields),
+        // so the initiator may release it directly.
+        // SAFETY: refs counts installs; during our pin any install's
+        // deferred decrement cannot yet have run, so refs == 0 certifies
+        // "never installed".
+        unsafe {
+            let d = desc.deref();
+            if d.refs.load(Ordering::SeqCst) == 0 {
+                for f in info_fields.iter().take(len) {
+                    if !f.is_null() {
+                        dec_refs(*f);
+                    }
+                }
+                drop(desc.into_owned());
+            }
+        }
+    }
+    ok
+}
+
+/// Validate extended: `true` iff no record in `handles` has changed since
+/// its linked LLX. Helps conflicting in-progress SCXs before failing.
+pub fn vlx<'g, N: Record>(handles: &[LlxHandle<'g, N>], guard: &'g Guard) -> bool {
+    for h in handles {
+        // SAFETY: handle's record is protected by `guard`.
+        let n = unsafe { h.node.deref() };
+        let cur = n.header().info.load(Ordering::SeqCst, guard);
+        if cur != h.info {
+            if state_of(cur) == IN_PROGRESS {
+                // SAFETY: non-null (IN_PROGRESS), protected by `guard`.
+                unsafe { help(cur, guard) };
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// Completes (or aborts) the SCX described by `desc`, on behalf of any
+/// thread. Returns `true` iff the SCX committed.
+///
+/// # Safety
+/// `desc` must be non-null and protected by `guard`.
+pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &Guard) -> bool {
+    let desc = desc_s.deref();
+
+    // Freezing phase: install `desc` into each V-record's info field, in
+    // order, expecting the value its linked LLX observed.
+    for i in 0..desc.len {
+        let node = &*desc.v[i];
+        let expect: Shared<'_, ScxRecord<N>> = Shared::from(desc.info_fields[i] as *const _);
+        match node
+            .header()
+            .info
+            .compare_exchange(expect, desc_s, Ordering::SeqCst, Ordering::SeqCst, guard)
+        {
+            Ok(_) => {
+                inc_refs(desc_s.as_raw());
+                if !expect.is_null() {
+                    // The replaced descriptor loses one install reference.
+                    defer_dec_refs(expect.as_raw(), guard);
+                }
+            }
+            Err(e) => {
+                if e.current != desc_s {
+                    // Frozen for someone else, or already past us. If every
+                    // record was frozen at some point, the SCX already
+                    // succeeded (another helper finished); otherwise it can
+                    // never complete and must abort. `all_frozen` is written
+                    // before any record in V can be re-frozen (a record is
+                    // only released by reaching a terminal state, which
+                    // happens after `all_frozen` on the commit path), so
+                    // this read is conclusive.
+                    if desc.all_frozen.load(Ordering::SeqCst) {
+                        return true;
+                    }
+                    let _ = desc.state.compare_exchange(
+                        IN_PROGRESS,
+                        ABORTED,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    return desc.load_state() == COMMITTED;
+                }
+                // else: another helper already froze this record for `desc`.
+            }
+        }
+    }
+
+    desc.all_frozen.store(true, Ordering::SeqCst);
+    // Mark (finalize) every record in R. Idempotent across helpers.
+    for i in 0..desc.len {
+        if desc.finalize_mask & (1 << i) != 0 {
+            (*desc.v[i]).header().marked.store(true, Ordering::SeqCst);
+        }
+    }
+    // The update CAS. Only the first helper's CAS succeeds: `old` was a
+    // fresh allocation when installed and is never re-stored (constraint 1).
+    let parent = &*desc.fld_node;
+    let _ = parent.child(desc.fld_idx).compare_exchange(
+        Shared::from(desc.old as *const _),
+        Shared::from(desc.new as *const _),
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+        guard,
+    );
+    // Commit. Exactly one helper wins the transition and retires R: the
+    // finalized records are now unreachable from the entry point (the update
+    // CAS happened before the state CAS), so epoch deferral makes the frees
+    // safe for concurrent traversals still holding pre-commit guards.
+    if desc
+        .state
+        .compare_exchange(IN_PROGRESS, COMMITTED, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        for i in 0..desc.len {
+            if desc.finalize_mask & (1 << i) != 0 {
+                defer_dispose_record(desc.v[i], guard);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordHeader;
+    use crossbeam_epoch::{pin, Atomic};
+
+    struct TestNode {
+        header: RecordHeader<TestNode>,
+        children: [Atomic<TestNode>; 2],
+        key: u64,
+    }
+
+    impl TestNode {
+        fn new(key: u64) -> Owned<TestNode> {
+            Owned::new(TestNode {
+                header: RecordHeader::new(),
+                children: [Atomic::null(), Atomic::null()],
+                key,
+            })
+        }
+    }
+
+    impl Record for TestNode {
+        const ARITY: usize = 2;
+        fn header(&self) -> &RecordHeader<Self> {
+            &self.header
+        }
+        fn child(&self, i: usize) -> &Atomic<Self> {
+            &self.children[i]
+        }
+    }
+
+    #[test]
+    fn llx_snapshot_of_quiescent_record() {
+        let guard = &pin();
+        let root = TestNode::new(1).into_shared(guard);
+        let h = llx(root, guard).unwrap();
+        assert!(h.left().is_null());
+        assert!(h.right().is_null());
+        assert_eq!(h.node_ref().key, 1);
+        unsafe { crate::reclaim::dispose_record(root.as_raw()) };
+    }
+
+    #[test]
+    fn scx_swings_pointer_and_finalizes() {
+        let guard = &pin();
+        let root = TestNode::new(0).into_shared(guard);
+        let a = TestNode::new(1).into_shared(guard);
+        unsafe { root.deref() }.children[0].store(a, Ordering::SeqCst);
+
+        let hr = llx(root, guard).unwrap();
+        let ha = llx(a, guard).unwrap();
+        let fresh = TestNode::new(2).into_shared(guard);
+        let ok = scx(
+            &ScxArgs {
+                v: &[hr, ha],
+                finalize: 0b10, // finalize `a`
+                fld_record: 0,
+                fld_idx: 0,
+                new: fresh,
+            },
+            guard,
+        );
+        assert!(ok);
+        let now = unsafe { root.deref() }.children[0].load(Ordering::SeqCst, guard);
+        assert_eq!(now, fresh);
+        // `a` is finalized: LLX reports it.
+        assert!(matches!(llx(a, guard), Llx::Finalized));
+        // Stale handle on root no longer validates.
+        assert!(!vlx(&[hr], guard));
+        unsafe {
+            crate::reclaim::dispose_record(fresh.as_raw());
+            crate::reclaim::dispose_record(root.as_raw());
+        }
+    }
+
+    #[test]
+    fn scx_fails_on_stale_handle() {
+        let guard = &pin();
+        let root = TestNode::new(0).into_shared(guard);
+        let h1 = llx(root, guard).unwrap();
+        // A first SCX consumes the handle's expected info value.
+        let n1 = TestNode::new(1).into_shared(guard);
+        assert!(scx(
+            &ScxArgs {
+                v: &[h1],
+                finalize: 0,
+                fld_record: 0,
+                fld_idx: 0,
+                new: n1
+            },
+            guard
+        ));
+        // Re-using the stale handle must fail.
+        let n2 = TestNode::new(2).into_shared(guard);
+        assert!(!scx(
+            &ScxArgs {
+                v: &[h1],
+                finalize: 0,
+                fld_record: 0,
+                fld_idx: 0,
+                new: n2
+            },
+            guard
+        ));
+        let now = unsafe { root.deref() }.children[0].load(Ordering::SeqCst, guard);
+        assert_eq!(now, n1);
+        unsafe {
+            crate::reclaim::dispose_record(n2.as_raw());
+            crate::reclaim::dispose_record(n1.as_raw());
+            crate::reclaim::dispose_record(root.as_raw());
+        }
+    }
+
+    #[test]
+    fn vlx_validates_unchanged_records() {
+        let guard = &pin();
+        let root = TestNode::new(0).into_shared(guard);
+        let h = llx(root, guard).unwrap();
+        assert!(vlx(&[h], guard));
+        unsafe { crate::reclaim::dispose_record(root.as_raw()) };
+    }
+
+    #[test]
+    fn llx_after_scx_sees_new_value() {
+        let guard = &pin();
+        let root = TestNode::new(0).into_shared(guard);
+        let h = llx(root, guard).unwrap();
+        let n1 = TestNode::new(7).into_shared(guard);
+        assert!(scx(
+            &ScxArgs {
+                v: &[h],
+                finalize: 0,
+                fld_record: 0,
+                fld_idx: 1,
+                new: n1
+            },
+            guard
+        ));
+        let h2 = llx(root, guard).unwrap();
+        assert_eq!(h2.right(), n1);
+        assert!(h2.left().is_null());
+        unsafe {
+            crate::reclaim::dispose_record(n1.as_raw());
+            crate::reclaim::dispose_record(root.as_raw());
+        }
+    }
+}

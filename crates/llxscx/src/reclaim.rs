@@ -1,0 +1,117 @@
+//! Memory reclamation for records and descriptors.
+//!
+//! The PODC'13/PPoPP'14 papers assume garbage collection. We reproduce the
+//! same safety guarantees with two cooperating mechanisms:
+//!
+//! 1. **Epoch-based reclamation (crossbeam-epoch)** for *when* memory may be
+//!    freed: anything unlinked from the shared structure is freed only after
+//!    every thread pinned at unlink time has unpinned, so concurrent
+//!    traversals through removed nodes (correctness property C3 of the
+//!    paper) remain safe.
+//! 2. **Reference counting of SCX-records** for *whether* a descriptor is
+//!    still reachable: unlike tree nodes, a descriptor is reachable from up
+//!    to `|V|` records' `info` fields *and* from later descriptors'
+//!    `info_fields` (helpers CAS against those expected values, so an
+//!    expected descriptor must stay allocated while any descriptor naming it
+//!    is alive — otherwise a recycled allocation could alias the expected
+//!    pointer and a stale freezing CAS could succeed spuriously).
+//!
+//! `refs(d)` counts:
+//! * records whose `info` currently points at `d` (incremented by the
+//!   helper whose freezing CAS installed `d`; decremented — epoch-deferred —
+//!   when a later freezing CAS replaces `d`, or when the record itself is
+//!   disposed);
+//! * live descriptors listing `d` in their `info_fields` (incremented at
+//!   descriptor creation, under the same guard pin as the LLX that observed
+//!   `d`; decremented when that descriptor is freed).
+//!
+//! **Why deferred decrements make the count exact.** An increment always
+//! happens under a guard pinned when `d` was *observed* installed on some
+//! record. The matching decrement (for the replacement that ends that
+//! observation window) is scheduled through the epoch machinery, so it
+//! executes only after every such pin has ended — i.e. after every pending
+//! increment has landed. Hence when a decrement brings `refs` to zero, no
+//! thread can hold or mint a reference to `d`, and it can be freed on the
+//! spot, cascading into the `info_fields` it referenced (iteratively, to
+//! bound stack depth).
+
+use crossbeam_epoch::Guard;
+
+use crate::descriptor::ScxRecord;
+use crate::record::Record;
+
+/// Increments the reference count of a descriptor.
+///
+/// # Safety
+/// `d` must point to a live descriptor, and the caller must hold a guard
+/// pinned since `d` was observed installed in some record's `info` field.
+pub(crate) unsafe fn inc_refs<N: Record>(d: *const ScxRecord<N>) {
+    let prev = (*d).refs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    debug_assert!(prev < usize::MAX / 2, "descriptor refcount overflow");
+}
+
+/// Performs one decrement of `start`'s reference count, freeing it (and
+/// cascading into the descriptors it references) if the count reaches zero.
+///
+/// # Safety
+/// Must be called at most once per previous increment, and only at a time
+/// when the reference being released can no longer be used to reach the
+/// descriptor (in this crate: from inside an epoch-deferred closure, or for
+/// a descriptor that was never published).
+pub(crate) unsafe fn dec_refs<N: Record>(start: *const ScxRecord<N>) {
+    let mut pending: Vec<*const ScxRecord<N>> = vec![start];
+    while let Some(d) = pending.pop() {
+        let prev = (*d).refs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        debug_assert!(prev > 0, "descriptor refcount underflow");
+        if prev == 1 {
+            let desc = Box::from_raw(d as *mut ScxRecord<N>);
+            for i in 0..desc.len {
+                let f = desc.info_fields[i];
+                if !f.is_null() {
+                    pending.push(f);
+                }
+            }
+            drop(desc);
+        }
+    }
+}
+
+/// Schedules an epoch-deferred decrement of `d`'s reference count.
+///
+/// # Safety
+/// As for [`dec_refs`]; the deferral provides the "no pending increments"
+/// timing argument described in the module docs.
+pub(crate) unsafe fn defer_dec_refs<N: Record>(d: *const ScxRecord<N>, guard: &Guard) {
+    let d = d as usize;
+    guard.defer_unchecked(move || dec_refs::<N>(d as *const ScxRecord<N>));
+}
+
+/// Frees a record: releases its reference on its last descriptor (if any)
+/// and drops the record's box. Child pointers are *not* followed — the tree
+/// update template guarantees that every removed record is retired exactly
+/// once, and fringe children remain in the tree.
+///
+/// # Safety
+/// `ptr` must be a record allocated via `Box` that is no longer reachable by
+/// any thread (typically: called from an epoch-deferred closure scheduled
+/// after the record was finalized and unlinked, or during structure drop).
+pub unsafe fn dispose_record<N: Record>(ptr: *const N) {
+    let info = (*ptr)
+        .header()
+        .info
+        .load(std::sync::atomic::Ordering::SeqCst, crossbeam_epoch::unprotected());
+    if !info.is_null() {
+        dec_refs(info.as_raw());
+    }
+    drop(Box::from_raw(ptr as *mut N));
+}
+
+/// Schedules an epoch-deferred [`dispose_record`].
+///
+/// # Safety
+/// `ptr` must have been unlinked from the shared structure (finalized) and
+/// must be retired exactly once.
+pub unsafe fn defer_dispose_record<N: Record>(ptr: *const N, guard: &Guard) {
+    let p = ptr as usize;
+    guard.defer_unchecked(move || dispose_record::<N>(p as *const N));
+}

@@ -1,0 +1,365 @@
+//! # Non-blocking unbalanced leaf-oriented BST
+//!
+//! The tree of Ellen, Fatourou, Ruppert and van Breugel (PODC 2010),
+//! rebuilt with the PPoPP 2014 *tree update template*: this is the paper's
+//! demonstration that the template makes such structures nearly mechanical
+//! to produce. Insertion and deletion are single template instances driven
+//! by the generic [`nbtree::tree_update`] runner; there is no rebalancing,
+//! so the height can be Θ(n) for adversarial key orders — which is exactly
+//! why it serves as an experimental baseline against the chromatic tree.
+//!
+//! ```
+//! let t = nbbst::NbBst::new();
+//! t.insert(1, "one");
+//! assert_eq!(t.get(&1), Some("one"));
+//! assert_eq!(t.remove(&1), Some("one"));
+//! ```
+
+#![warn(missing_docs)]
+
+use llxscx::epoch::{pin, Atomic, Guard, Shared};
+use nbtree::node::Node;
+use nbtree::{tree_update, TemplateStep};
+use std::sync::atomic::Ordering;
+
+/// A lock-free unbalanced leaf-oriented BST (ordered map).
+///
+/// Same sentinel layout as the chromatic tree (paper Fig. 10), same
+/// leaf-oriented updates (Insert1/Insert2/Delete of Fig. 11), but no
+/// weights are maintained and no rebalancing is performed.
+pub struct NbBst<K: Send + Sync, V: Send + Sync> {
+    entry: Atomic<Node<K, V>>,
+}
+
+// SAFETY: all shared mutable state behind atomics/epoch guards.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for NbBst<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for NbBst<K, V> {}
+
+impl<K, V> NbBst<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// An empty tree.
+    pub fn new() -> Self {
+        let guard = unsafe { llxscx::epoch::unprotected() };
+        let leaf = Node::leaf(None, None, 1).into_shared(guard);
+        NbBst {
+            entry: Atomic::from(Node::internal(None, 1, leaf, Shared::null())),
+        }
+    }
+
+    fn entry<'g>(&self, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        self.entry.load(Ordering::SeqCst, guard)
+    }
+
+    /// Pure-read search; returns (grandparent, parent, leaf) on `key`'s
+    /// search path (grandparent null when the tree is empty).
+    fn search<'g>(
+        &self,
+        key: &K,
+        guard: &'g Guard,
+    ) -> (
+        Shared<'g, Node<K, V>>,
+        Shared<'g, Node<K, V>>,
+        Shared<'g, Node<K, V>>,
+    ) {
+        let mut gp = Shared::null();
+        let mut p = self.entry(guard);
+        // SAFETY: entry never removed; children reached under guard (C3).
+        let mut l = unsafe { p.deref() }.read_child(0, guard);
+        loop {
+            let l_ref = unsafe { l.deref() };
+            if l_ref.is_leaf(guard) {
+                return (gp, p, l);
+            }
+            gp = p;
+            p = l;
+            let dir = if l_ref.route_left(key) { 0 } else { 1 };
+            l = l_ref.read_child(dir, guard);
+        }
+    }
+
+    /// Value associated with `key`, using only plain reads.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = &pin();
+        let (_, _, l) = self.search(key, guard);
+        let leaf = unsafe { l.deref() };
+        if leaf.key_eq(key) {
+            leaf.value().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        let guard = &pin();
+        let (_, _, l) = self.search(key, guard);
+        unsafe { l.deref() }.key_eq(key)
+    }
+
+    /// Inserts `key → value`; returns the previous value, if any.
+    ///
+    /// Driven by the generic template runner: LLX the parent, check the
+    /// leaf is still its child, LLX the leaf, then a single SCX.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        loop {
+            let guard = &pin();
+            let (_, p, l) = self.search(&key, guard);
+            let outcome = tree_update(p, guard, |handles| {
+                match handles.len() {
+                    1 => {
+                        let hp = &handles[0];
+                        if hp.left() != l && hp.right() != l {
+                            return TemplateStep::Abort;
+                        }
+                        TemplateStep::Llx(l)
+                    }
+                    2 => {
+                        let hp = &handles[0];
+                        let hl = &handles[1];
+                        let dir = if hp.left() == l { 0 } else { 1 };
+                        let leaf = hl.node_ref();
+                        if leaf.key_eq(&key) {
+                            // Replacement (Insert2): R = {leaf}.
+                            let old = leaf.value().cloned();
+                            let new = Node::leaf(Some(key.clone()), Some(value.clone()), 1)
+                                .into_shared(guard);
+                            TemplateStep::Scx {
+                                finalize: 0b10,
+                                fld_record: 0,
+                                fld_idx: dir,
+                                new,
+                                created: vec![new],
+                                result: old,
+                            }
+                        } else {
+                            // Insert1: new internal, old leaf reused (R = ∅).
+                            let new_leaf = Node::leaf(Some(key.clone()), Some(value.clone()), 1)
+                                .into_shared(guard);
+                            let new = if leaf.route_left(&key) {
+                                Node::internal(leaf.key().cloned(), 1, new_leaf, l)
+                            } else {
+                                Node::internal(Some(key.clone()), 1, l, new_leaf)
+                            }
+                            .into_shared(guard);
+                            TemplateStep::Scx {
+                                finalize: 0,
+                                fld_record: 0,
+                                fld_idx: dir,
+                                new,
+                                created: vec![new_leaf, new],
+                                result: None,
+                            }
+                        }
+                    }
+                    _ => unreachable!("template sequence for insert has length 2"),
+                }
+            });
+            if let Ok(old) = outcome {
+                return old;
+            }
+        }
+    }
+
+    /// Removes `key`; returns its value, if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        loop {
+            let guard = &pin();
+            let (gp, p, l) = self.search(key, guard);
+            // SAFETY: see search.
+            if !unsafe { l.deref() }.key_eq(key) {
+                return None; // linearizes like a query
+            }
+            if gp.is_null() {
+                return None; // empty tree shape: only the ∞ leaf
+            }
+            let outcome = tree_update(gp, guard, |handles| match handles.len() {
+                1 => {
+                    let hgp = &handles[0];
+                    if hgp.left() != p && hgp.right() != p {
+                        return TemplateStep::Abort;
+                    }
+                    TemplateStep::Llx(p)
+                }
+                2 => {
+                    let hp = &handles[1];
+                    if hp.left() != l && hp.right() != l {
+                        return TemplateStep::Abort;
+                    }
+                    TemplateStep::Llx(l)
+                }
+                3 => {
+                    let hp = &handles[1];
+                    let sib = if hp.left() == l { hp.right() } else { hp.left() };
+                    TemplateStep::Llx(sib)
+                }
+                4 => {
+                    let hgp = &handles[0];
+                    let hl = &handles[2];
+                    let hs = &handles[3];
+                    let dir = if hgp.left() == p { 0 } else { 1 };
+                    let s_ref = hs.node_ref();
+                    // Fresh copy of the sibling replaces the parent.
+                    let new = if s_ref.is_leaf(guard) {
+                        Node::leaf(s_ref.key().cloned(), s_ref.value().cloned(), 1)
+                    } else {
+                        Node::internal(s_ref.key().cloned(), 1, hs.left(), hs.right())
+                    }
+                    .into_shared(guard);
+                    TemplateStep::Scx {
+                        finalize: 0b1110, // {p, l, s}
+                        fld_record: 0,
+                        fld_idx: dir,
+                        new,
+                        created: vec![new],
+                        result: hl.node_ref().value().cloned(),
+                    }
+                }
+                _ => unreachable!("template sequence for delete has length 4"),
+            });
+            if let Ok(old) = outcome {
+                return old;
+            }
+        }
+    }
+
+    /// Number of keys (O(n) traversal snapshot).
+    pub fn len(&self) -> usize {
+        let guard = &pin();
+        let mut count = 0;
+        let mut stack = vec![self.entry(guard)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let node = unsafe { n.deref() };
+            if node.is_leaf(guard) {
+                if !node.is_sentinel_key() {
+                    count += 1;
+                }
+            } else {
+                stack.push(node.read_child(0, guard));
+                stack.push(node.read_child(1, guard));
+            }
+        }
+        count
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorted snapshot of the contents.
+    pub fn collect(&self) -> Vec<(K, V)> {
+        fn rec<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync>(
+            n: Shared<'_, Node<K, V>>,
+            out: &mut Vec<(K, V)>,
+            guard: &Guard,
+        ) {
+            if n.is_null() {
+                return;
+            }
+            let node = unsafe { n.deref() };
+            if node.is_leaf(guard) {
+                if let (Some(k), Some(v)) = (node.key(), node.value()) {
+                    out.push((k.clone(), v.clone()));
+                }
+            } else {
+                rec(node.read_child(0, guard), out, guard);
+                rec(node.read_child(1, guard), out, guard);
+            }
+        }
+        let guard = &pin();
+        let mut out = Vec::new();
+        rec(self.entry(guard), &mut out, guard);
+        out
+    }
+}
+
+impl<K, V> Default for NbBst<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Send + Sync, V: Send + Sync> Drop for NbBst<K, V> {
+    fn drop(&mut self) {
+        let guard = unsafe { llxscx::epoch::unprotected() };
+        let mut stack = vec![self.entry.load(Ordering::SeqCst, guard)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access in Drop; down-tree ⇒ each node once.
+            unsafe {
+                let node = n.deref();
+                stack.push(node.read_child(0, guard));
+                stack.push(node.read_child(1, guard));
+                llxscx::reclaim::dispose_record(n.as_raw());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn basics() {
+        let t = NbBst::new();
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 11), Some(10));
+        assert_eq!(t.get(&1), Some(11));
+        assert_eq!(t.remove(&1), Some(11));
+        assert_eq!(t.remove(&1), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn random_against_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = NbBst::new();
+        let mut model = BTreeMap::new();
+        for step in 0..5000u64 {
+            let k = rng.gen_range(0..300u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(t.insert(k, step), model.insert(k, step)),
+                1 => assert_eq!(t.remove(&k), model.remove(&k)),
+                _ => assert_eq!(t.get(&k), model.get(&k).copied()),
+            }
+        }
+        assert_eq!(t.collect(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_stripes() {
+        use std::sync::Arc;
+        let t = Arc::new(NbBst::new());
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    let base = tid * 1000;
+                    for i in 0..1000 {
+                        t.insert(base + i, i);
+                    }
+                    for i in (0..1000).step_by(2) {
+                        assert_eq!(t.remove(&(base + i)), Some(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 4 * 500);
+    }
+}

@@ -1,0 +1,546 @@
+//! # Sequential red-black tree and the global-lock baseline
+//!
+//! A classic node-oriented red-black tree ([`RbTree`]) — the stand-in for
+//! `java.util.TreeMap` in the paper's Figure 9 — plus [`RbGlobal`], the
+//! paper's "RBGlobal" baseline: the same tree behind a single global lock.
+//!
+//! The implementation is index-based (arena of nodes, `u32` links) rather
+//! than `Box`-based: no unsafe, no recursion limits, good cache behaviour.
+
+#![warn(missing_docs)]
+
+pub mod rbglobal;
+pub use rbglobal::RbGlobal;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Clone)]
+struct RbNode<K, V> {
+    key: K,
+    value: V,
+    left: u32,
+    right: u32,
+    parent: u32,
+    color: Color,
+}
+
+/// A sequential ordered map: red-black tree with the standard CLRS
+/// insert/delete fixups.
+///
+/// ```
+/// let mut t = seqrbt::RbTree::new();
+/// t.insert(2, "b");
+/// t.insert(1, "a");
+/// assert_eq!(t.get(&1), Some(&"a"));
+/// assert_eq!(t.remove(&2), Some("b"));
+/// ```
+pub struct RbTree<K, V> {
+    nodes: Vec<RbNode<K, V>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for RbTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> RbTree<K, V> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        RbTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node(&self, i: u32) -> &RbNode<K, V> {
+        &self.nodes[i as usize]
+    }
+    fn node_mut(&mut self, i: u32) -> &mut RbNode<K, V> {
+        &mut self.nodes[i as usize]
+    }
+    fn color(&self, i: u32) -> Color {
+        if i == NIL {
+            Color::Black
+        } else {
+            self.node(i).color
+        }
+    }
+
+    fn alloc(&mut self, key: K, value: V, parent: u32) -> u32 {
+        let node = RbNode {
+            key,
+            value,
+            left: NIL,
+            right: NIL,
+            parent,
+            color: Color::Red,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = self.node(cur);
+            cur = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+                std::cmp::Ordering::Equal => return Some(&n.value),
+            };
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Smallest key strictly greater than `key`.
+    pub fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        let mut cur = self.root;
+        let mut best = NIL;
+        while cur != NIL {
+            let n = self.node(cur);
+            if &n.key > key {
+                best = cur;
+                cur = n.left;
+            } else {
+                cur = n.right;
+            }
+        }
+        (best != NIL).then(|| {
+            let n = self.node(best);
+            (&n.key, &n.value)
+        })
+    }
+
+    /// Largest key strictly smaller than `key`.
+    pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        let mut cur = self.root;
+        let mut best = NIL;
+        while cur != NIL {
+            let n = self.node(cur);
+            if &n.key < key {
+                best = cur;
+                cur = n.right;
+            } else {
+                cur = n.left;
+            }
+        }
+        (best != NIL).then(|| {
+            let n = self.node(best);
+            (&n.key, &n.value)
+        })
+    }
+
+    fn rotate(&mut self, x: u32, dir: usize) {
+        // dir = 0: left-rotate (y = x.right rises); dir = 1: right-rotate.
+        let y = if dir == 0 {
+            self.node(x).right
+        } else {
+            self.node(x).left
+        };
+        debug_assert_ne!(y, NIL);
+        let y_inner = if dir == 0 {
+            self.node(y).left
+        } else {
+            self.node(y).right
+        };
+        // x's outer child slot takes y's inner subtree.
+        if dir == 0 {
+            self.node_mut(x).right = y_inner;
+        } else {
+            self.node_mut(x).left = y_inner;
+        }
+        if y_inner != NIL {
+            self.node_mut(y_inner).parent = x;
+        }
+        let xp = self.node(x).parent;
+        self.node_mut(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.node(xp).left == x {
+            self.node_mut(xp).left = y;
+        } else {
+            self.node_mut(xp).right = y;
+        }
+        if dir == 0 {
+            self.node_mut(y).left = x;
+        } else {
+            self.node_mut(y).right = x;
+        }
+        self.node_mut(x).parent = y;
+    }
+
+    /// Inserts `key → value`; returns the previous value if present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            let n = self.node(cur);
+            cur = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+                std::cmp::Ordering::Equal => {
+                    return Some(std::mem::replace(&mut self.node_mut(cur).value, value));
+                }
+            };
+        }
+        let fresh = self.alloc(key, value, parent);
+        if parent == NIL {
+            self.root = fresh;
+        } else if self.node(fresh).key < self.node(parent).key {
+            self.node_mut(parent).left = fresh;
+        } else {
+            self.node_mut(parent).right = fresh;
+        }
+        self.len += 1;
+        self.insert_fixup(fresh);
+        None
+    }
+
+    fn insert_fixup(&mut self, mut z: u32) {
+        while self.color(self.node(z).parent) == Color::Red {
+            let zp = self.node(z).parent;
+            let zpp = self.node(zp).parent;
+            debug_assert_ne!(zpp, NIL, "red node without black grandparent");
+            let parent_is_left = self.node(zpp).left == zp;
+            let uncle = if parent_is_left {
+                self.node(zpp).right
+            } else {
+                self.node(zpp).left
+            };
+            if self.color(uncle) == Color::Red {
+                self.node_mut(zp).color = Color::Black;
+                self.node_mut(uncle).color = Color::Black;
+                self.node_mut(zpp).color = Color::Red;
+                z = zpp;
+            } else {
+                if parent_is_left {
+                    if self.node(zp).right == z {
+                        z = zp;
+                        self.rotate(z, 0);
+                    }
+                    let zp = self.node(z).parent;
+                    let zpp = self.node(zp).parent;
+                    self.node_mut(zp).color = Color::Black;
+                    self.node_mut(zpp).color = Color::Red;
+                    self.rotate(zpp, 1);
+                } else {
+                    if self.node(zp).left == z {
+                        z = zp;
+                        self.rotate(z, 1);
+                    }
+                    let zp = self.node(z).parent;
+                    let zpp = self.node(zp).parent;
+                    self.node_mut(zp).color = Color::Black;
+                    self.node_mut(zpp).color = Color::Red;
+                    self.rotate(zpp, 0);
+                }
+            }
+        }
+        let r = self.root;
+        self.node_mut(r).color = Color::Black;
+    }
+
+    fn minimum(&self, mut x: u32) -> u32 {
+        while self.node(x).left != NIL {
+            x = self.node(x).left;
+        }
+        x
+    }
+
+    /// Replaces subtree `u` by subtree `v` in u's parent.
+    fn transplant(&mut self, u: u32, v: u32) {
+        let up = self.node(u).parent;
+        if up == NIL {
+            self.root = v;
+        } else if self.node(up).left == u {
+            self.node_mut(up).left = v;
+        } else {
+            self.node_mut(up).right = v;
+        }
+        if v != NIL {
+            self.node_mut(v).parent = up;
+        }
+    }
+
+    /// Removes `key`; returns its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut z = self.root;
+        while z != NIL {
+            let n = self.node(z);
+            z = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+                std::cmp::Ordering::Equal => break,
+            };
+        }
+        if z == NIL {
+            return None;
+        }
+        let removed_value = self.node(z).value.clone();
+
+        // CLRS delete. `fix_at`/`fix_parent` track the (possibly NIL) node
+        // that replaced the spliced-out black node.
+        let mut y = z;
+        let mut y_color = self.node(y).color;
+        let fix_at;
+        let fix_parent;
+        if self.node(z).left == NIL {
+            fix_at = self.node(z).right;
+            fix_parent = self.node(z).parent;
+            self.transplant(z, fix_at);
+        } else if self.node(z).right == NIL {
+            fix_at = self.node(z).left;
+            fix_parent = self.node(z).parent;
+            self.transplant(z, fix_at);
+        } else {
+            y = self.minimum(self.node(z).right);
+            y_color = self.node(y).color;
+            fix_at = self.node(y).right;
+            if self.node(y).parent == z {
+                fix_parent = y;
+                if fix_at != NIL {
+                    self.node_mut(fix_at).parent = y;
+                }
+            } else {
+                fix_parent = self.node(y).parent;
+                self.transplant(y, fix_at);
+                let zr = self.node(z).right;
+                self.node_mut(y).right = zr;
+                self.node_mut(zr).parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.node(z).left;
+            self.node_mut(y).left = zl;
+            self.node_mut(zl).parent = y;
+            self.node_mut(y).color = self.node(z).color;
+        }
+        self.free.push(z);
+        self.len -= 1;
+        if y_color == Color::Black {
+            self.delete_fixup(fix_at, fix_parent);
+        }
+        Some(removed_value)
+    }
+
+    fn delete_fixup(&mut self, mut x: u32, mut xp: u32) {
+        while x != self.root && self.color(x) == Color::Black {
+            if xp == NIL {
+                break;
+            }
+            let x_is_left = self.node(xp).left == x;
+            let mut w = if x_is_left {
+                self.node(xp).right
+            } else {
+                self.node(xp).left
+            };
+            if w == NIL {
+                break; // defensive: malformed tree would loop forever
+            }
+            if self.color(w) == Color::Red {
+                self.node_mut(w).color = Color::Black;
+                self.node_mut(xp).color = Color::Red;
+                self.rotate(xp, if x_is_left { 0 } else { 1 });
+                w = if x_is_left {
+                    self.node(xp).right
+                } else {
+                    self.node(xp).left
+                };
+            }
+            let (w_near, w_far) = if x_is_left {
+                (self.node(w).left, self.node(w).right)
+            } else {
+                (self.node(w).right, self.node(w).left)
+            };
+            if self.color(w_near) == Color::Black && self.color(w_far) == Color::Black {
+                self.node_mut(w).color = Color::Red;
+                x = xp;
+                xp = self.node(x).parent;
+            } else {
+                if self.color(w_far) == Color::Black {
+                    if w_near != NIL {
+                        self.node_mut(w_near).color = Color::Black;
+                    }
+                    self.node_mut(w).color = Color::Red;
+                    self.rotate(w, if x_is_left { 1 } else { 0 });
+                    w = if x_is_left {
+                        self.node(xp).right
+                    } else {
+                        self.node(xp).left
+                    };
+                }
+                self.node_mut(w).color = self.node(xp).color;
+                self.node_mut(xp).color = Color::Black;
+                let w_far = if x_is_left {
+                    self.node(w).right
+                } else {
+                    self.node(w).left
+                };
+                if w_far != NIL {
+                    self.node_mut(w_far).color = Color::Black;
+                }
+                self.rotate(xp, if x_is_left { 0 } else { 1 });
+                x = self.root;
+                break;
+            }
+        }
+        if x != NIL {
+            self.node_mut(x).color = Color::Black;
+        }
+    }
+
+    /// Sorted snapshot of the contents.
+    pub fn collect(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.node(cur).left;
+            }
+            let n = stack.pop().unwrap();
+            let node = self.node(n);
+            out.push((node.key.clone(), node.value.clone()));
+            cur = node.right;
+        }
+        out
+    }
+
+    /// Checks the red-black invariants; returns the black height or an
+    /// error description. Test/diagnostic helper.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        if self.root == NIL {
+            return Ok(0);
+        }
+        if self.color(self.root) != Color::Black {
+            return Err("root is red".into());
+        }
+        self.check_rec(self.root, None, None)
+    }
+
+    fn check_rec(&self, n: u32, lo: Option<&K>, hi: Option<&K>) -> Result<usize, String> {
+        if n == NIL {
+            return Ok(1);
+        }
+        let node = self.node(n);
+        if let Some(lo) = lo {
+            if &node.key <= lo {
+                return Err("BST order violated (low)".into());
+            }
+        }
+        if let Some(hi) = hi {
+            if &node.key >= hi {
+                return Err("BST order violated (high)".into());
+            }
+        }
+        if node.color == Color::Red
+            && (self.color(node.left) == Color::Red || self.color(node.right) == Color::Red)
+        {
+            return Err("red node with red child".into());
+        }
+        let lh = self.check_rec(node.left, lo, Some(&node.key))?;
+        let rh = self.check_rec(node.right, Some(&node.key), hi)?;
+        if lh != rh {
+            return Err(format!("black heights differ: {lh} vs {rh}"));
+        }
+        Ok(lh + if node.color == Color::Black { 1 } else { 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn basic_ops() {
+        let mut t = RbTree::new();
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 11), Some(10));
+        assert_eq!(t.get(&1), Some(&11));
+        assert_eq!(t.remove(&1), Some(11));
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_against_model_with_invariants() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut t = RbTree::new();
+        let mut model = BTreeMap::new();
+        for step in 0..20_000u64 {
+            let k = rng.gen_range(0..500u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(t.insert(k, step), model.insert(k, step)),
+                1 => assert_eq!(t.remove(&k), model.remove(&k)),
+                _ => assert_eq!(t.get(&k), model.get(&k)),
+            }
+            if step % 512 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.collect(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn successor_predecessor() {
+        let mut t = RbTree::new();
+        for k in [10u64, 20, 30] {
+            t.insert(k, k);
+        }
+        assert_eq!(t.successor(&10), Some((&20, &20)));
+        assert_eq!(t.successor(&30), None);
+        assert_eq!(t.predecessor(&10), None);
+        assert_eq!(t.predecessor(&25), Some((&20, &20)));
+    }
+
+    #[test]
+    fn ascending_descending_balance() {
+        let mut t = RbTree::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i);
+        }
+        t.check_invariants().unwrap();
+        for i in (0..10_000u64).rev() {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        t.check_invariants().unwrap();
+        assert!(t.is_empty());
+    }
+}

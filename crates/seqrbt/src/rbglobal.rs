@@ -1,0 +1,106 @@
+//! `RBGlobal`: the paper's coarse-grained baseline — the highly optimized
+//! sequential red-black tree with every operation under one global lock.
+
+use parking_lot::Mutex;
+
+use crate::RbTree;
+
+/// A thread-safe ordered map obtained by wrapping [`RbTree`] in a single
+/// global mutex. Every operation — including queries — serializes, so
+/// throughput is flat (or worse) in the number of threads; it exists as the
+/// coarse-grained end of the experimental spectrum.
+pub struct RbGlobal<K, V> {
+    inner: Mutex<RbTree<K, V>>,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for RbGlobal<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> RbGlobal<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        RbGlobal {
+            inner: Mutex::new(RbTree::new()),
+        }
+    }
+
+    /// Looks up `key` (serialized on the global lock).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.lock().get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.lock().contains_key(key)
+    }
+
+    /// Inserts `key → value`; returns the previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.inner.lock().insert(key, value)
+    }
+
+    /// Removes `key`; returns its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.inner.lock().remove(key)
+    }
+
+    /// Smallest key strictly greater than `key`.
+    pub fn successor(&self, key: &K) -> Option<(K, V)> {
+        self.inner
+            .lock()
+            .successor(key)
+            .map(|(k, v)| (k.clone(), v.clone()))
+    }
+
+    /// Largest key strictly smaller than `key`.
+    pub fn predecessor(&self, key: &K) -> Option<(K, V)> {
+        self.inner
+            .lock()
+            .predecessor(key)
+            .map(|(k, v)| (k.clone(), v.clone()))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Sorted snapshot of the contents.
+    pub fn collect(&self) -> Vec<(K, V)> {
+        self.inner.lock().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_smoke() {
+        let m = Arc::new(RbGlobal::new());
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    let base = tid * 500;
+                    for i in 0..500 {
+                        assert_eq!(m.insert(base + i, i), None);
+                    }
+                    for i in (0..500).step_by(2) {
+                        assert_eq!(m.remove(&(base + i)), Some(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 4 * 250);
+    }
+}

@@ -1,0 +1,558 @@
+//! # Lock-free skip list
+//!
+//! A Harris–Michael style lock-free skip list ordered map, the stand-in for
+//! the Java Class Library's `ConcurrentSkipListMap` ("SkipList" in the
+//! paper's Figure 8). Deleted nodes are *marked* by tagging their `next`
+//! pointers (bit 0 of the pointer word) and then physically unlinked by
+//! subsequent `find` traversals; memory is reclaimed with crossbeam-epoch.
+//!
+//! Updates are simple single-CAS events at the bottom level (towers above
+//! are best-effort), which is why skip lists scale so well on update-heavy
+//! workloads — the effect the paper observes under high contention.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{pin, Atomic, Guard, Owned, Shared};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::cell::RefCell;
+
+const MAX_LEVEL: usize = 20;
+
+struct SkipNode<K, V> {
+    key: Option<K>, // None = head sentinel (−∞)
+    value: Option<V>,
+    next: Vec<Atomic<SkipNode<K, V>>>,
+}
+
+impl<K, V> SkipNode<K, V> {
+    fn height(&self) -> usize {
+        self.next.len()
+    }
+}
+
+/// A concurrent lock-free ordered map backed by a skip list.
+///
+/// ```
+/// let m = nbskiplist::SkipListMap::new();
+/// m.insert(1, "one");
+/// assert_eq!(m.get(&1), Some("one"));
+/// ```
+pub struct SkipListMap<K, V> {
+    head: Atomic<SkipNode<K, V>>,
+}
+
+// SAFETY: shared state behind epoch-managed atomics.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipListMap<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipListMap<K, V> {}
+
+thread_local! {
+    static LEVEL_RNG: RefCell<SmallRng> = RefCell::new(SmallRng::from_entropy());
+}
+
+fn random_height() -> usize {
+    LEVEL_RNG.with(|r| {
+        let mut h = 1;
+        let mut rng = r.borrow_mut();
+        while h < MAX_LEVEL && rng.gen_bool(0.5) {
+            h += 1;
+        }
+        h
+    })
+}
+
+/// The result of a `find`: predecessor and successor at every level, with
+/// marked nodes physically unlinked along the way.
+struct FindResult<'g, K, V> {
+    preds: [Shared<'g, SkipNode<K, V>>; MAX_LEVEL],
+    succs: [Shared<'g, SkipNode<K, V>>; MAX_LEVEL],
+    /// The bottom-level successor if it carries exactly `key`.
+    found: Option<Shared<'g, SkipNode<K, V>>>,
+}
+
+impl<K, V> SkipListMap<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// An empty map.
+    pub fn new() -> Self {
+        let head = SkipNode {
+            key: None,
+            value: None,
+            next: (0..MAX_LEVEL).map(|_| Atomic::null()).collect(),
+        };
+        SkipListMap {
+            head: Atomic::from(Owned::new(head)),
+        }
+    }
+
+    fn head<'g>(&self, guard: &'g Guard) -> Shared<'g, SkipNode<K, V>> {
+        self.head.load(Ordering::SeqCst, guard)
+    }
+
+    /// Harris–Michael find with physical unlinking of marked nodes.
+    /// Restarts internally when a CAS to unlink fails.
+    fn find<'g>(&self, key: &K, guard: &'g Guard) -> FindResult<'g, K, V> {
+        'retry: loop {
+            let mut preds = [Shared::null(); MAX_LEVEL];
+            let mut succs = [Shared::null(); MAX_LEVEL];
+            let head = self.head(guard);
+            let mut pred = head;
+            for level in (0..MAX_LEVEL).rev() {
+                // SAFETY: nodes reached via the list under `guard`.
+                let mut curr = unsafe { pred.deref() }.next[level]
+                    .load(Ordering::SeqCst, guard)
+                    .with_tag(0);
+                loop {
+                    if curr.is_null() {
+                        break;
+                    }
+                    let curr_ref = unsafe { curr.deref() };
+                    let succ = curr_ref.next[level].load(Ordering::SeqCst, guard);
+                    if succ.tag() == 1 {
+                        // curr is marked: unlink it at this level.
+                        let unlinked = unsafe { pred.deref() }.next[level]
+                            .compare_exchange(
+                                curr.with_tag(0),
+                                succ.with_tag(0),
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                                guard,
+                            )
+                            .is_ok();
+                        if !unlinked {
+                            continue 'retry;
+                        }
+                        if level == 0 {
+                            // Fully unlinked at the bottom: retire. Towers
+                            // above were unlinked first (find descends),
+                            // and any remaining links are cleaned by other
+                            // finds before they can be traversed... they
+                            // can still be traversed, which is why the
+                            // retirement is epoch-deferred.
+                            unsafe {
+                                guard.defer_destroy(curr);
+                            }
+                        }
+                        curr = succ.with_tag(0);
+                        continue;
+                    }
+                    // Unmarked: check ordering.
+                    match curr_ref.key.as_ref() {
+                        Some(k) if k < key => {
+                            pred = curr;
+                            curr = succ.with_tag(0);
+                        }
+                        _ => break,
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = curr;
+            }
+            let found = (!succs[0].is_null()
+                && unsafe { succs[0].deref() }.key.as_ref() == Some(key))
+            .then_some(succs[0]);
+            return FindResult {
+                preds,
+                succs,
+                found,
+            };
+        }
+    }
+
+    /// Looks up `key` with a wait-free traversal (no unlinking).
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = &pin();
+        let mut pred = self.head(guard);
+        let mut result = None;
+        for level in (0..MAX_LEVEL).rev() {
+            // SAFETY: list nodes under `guard`.
+            let mut curr = unsafe { pred.deref() }.next[level]
+                .load(Ordering::SeqCst, guard)
+                .with_tag(0);
+            while !curr.is_null() {
+                let curr_ref = unsafe { curr.deref() };
+                let succ = curr_ref.next[level].load(Ordering::SeqCst, guard);
+                let marked = succ.tag() == 1;
+                match curr_ref.key.as_ref() {
+                    Some(k) if k < key => {
+                        pred = curr;
+                        curr = succ.with_tag(0);
+                    }
+                    Some(k) if k == key && !marked => {
+                        result = curr_ref.value.clone();
+                        return result;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        result
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`. If the key is present, the *node is replaced*
+    /// (marked and re-inserted), returning the old value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let guard = &pin();
+        // The value displaced by this insert: set when we win the mark race
+        // on an existing node for the key (delete + insert = replace).
+        let mut previous: Option<V> = None;
+        loop {
+            let f = self.find(&key, guard);
+            if let Some(existing) = f.found {
+                // Presence: replace by delete + retry-insert, which keeps
+                // the node immutable (values never change in place).
+                let old = unsafe { existing.deref() }.value.clone();
+                if self.mark_node(existing, guard) {
+                    previous = old;
+                    // Physically unlink before inserting the replacement.
+                    let _ = self.find(&key, guard);
+                }
+                // (On a lost race the key may reappear; re-find either way.)
+                continue;
+            }
+            let height = random_height();
+            let mut node = Owned::new(SkipNode {
+                key: Some(key.clone()),
+                value: Some(value.clone()),
+                next: (0..height).map(|_| Atomic::null()).collect(),
+            });
+            for (level, nxt) in node.next.iter().enumerate().take(height) {
+                nxt.store(f.succs[level], Ordering::Relaxed);
+            }
+            let node = node.into_shared(guard);
+            // Linearization: CAS at the bottom level.
+            // SAFETY: preds are list nodes under `guard`.
+            let bottom = unsafe { f.preds[0].deref() };
+            if bottom.next[0]
+                .compare_exchange(
+                    f.succs[0],
+                    node,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    guard,
+                )
+                .is_err()
+            {
+                // SAFETY: never published.
+                unsafe { drop(node.into_owned()) };
+                continue;
+            }
+            // Best-effort tower construction.
+            for level in 1..height {
+                loop {
+                    let succ = unsafe { node.deref() }.next[level].load(Ordering::SeqCst, guard);
+                    if succ.tag() == 1 {
+                        return previous; // concurrently deleted; done
+                    }
+                    let pred = f.preds[level];
+                    if unsafe { pred.deref() }.next[level]
+                        .compare_exchange(succ.with_tag(0), node, Ordering::SeqCst, Ordering::SeqCst, guard)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    // Re-find to refresh preds/succs for this level.
+                    let f2 = self.find(&key, guard);
+                    if f2.found != Some(node) {
+                        return previous; // deleted meanwhile
+                    }
+                    let expected = f2.succs[level];
+                    if unsafe { node.deref() }.next[level]
+                        .compare_exchange(
+                            succ.with_tag(0),
+                            expected,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                            guard,
+                        )
+                        .is_err()
+                    {
+                        return previous; // marked underneath us
+                    }
+                    if unsafe { f2.preds[level].deref() }.next[level]
+                        .compare_exchange(expected, node, Ordering::SeqCst, Ordering::SeqCst, guard)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            return previous;
+        }
+    }
+
+    /// Marks every level of `node`, bottom last. Returns `true` iff this
+    /// call won the bottom-level mark (the linearization of the delete).
+    fn mark_node<'g>(&self, node: Shared<'g, SkipNode<K, V>>, guard: &'g Guard) -> bool {
+        // SAFETY: `node` reached via the list under `guard`.
+        let node_ref = unsafe { node.deref() };
+        let h = node_ref.height();
+        for level in (1..h).rev() {
+            loop {
+                let succ = node_ref.next[level].load(Ordering::SeqCst, guard);
+                if succ.tag() == 1 {
+                    break;
+                }
+                if node_ref.next[level]
+                    .compare_exchange(
+                        succ,
+                        succ.with_tag(1),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                        guard,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        loop {
+            let succ = node_ref.next[0].load(Ordering::SeqCst, guard);
+            if succ.tag() == 1 {
+                return false; // someone else's delete linearized first
+            }
+            if node_ref.next[0]
+                .compare_exchange(
+                    succ,
+                    succ.with_tag(1),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    guard,
+                )
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Removes `key`; returns its value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let guard = &pin();
+        loop {
+            let f = self.find(key, guard);
+            let node = f.found?;
+            let value = unsafe { node.deref() }.value.clone();
+            if self.mark_node(node, guard) {
+                // Physically unlink (also retires the node).
+                let _ = self.find(key, guard);
+                return value;
+            }
+            // Lost the race; the key may have been re-inserted — retry.
+        }
+    }
+
+    /// Smallest key strictly greater than `key` (with its value).
+    pub fn successor(&self, key: &K) -> Option<(K, V)> {
+        let guard = &pin();
+        let f = self.find(key, guard);
+        let mut cur = f.succs[0];
+        loop {
+            if cur.is_null() {
+                return None;
+            }
+            // SAFETY: list node under `guard`.
+            let n = unsafe { cur.deref() };
+            let succ = n.next[0].load(Ordering::SeqCst, guard);
+            let k = n.key.as_ref().expect("non-head node has a key");
+            if succ.tag() == 0 && k > key {
+                return Some((k.clone(), n.value.clone().unwrap()));
+            }
+            cur = succ.with_tag(0);
+        }
+    }
+
+    /// Largest key strictly smaller than `key` (with its value).
+    ///
+    /// Skip lists do not support backwards traversal; like
+    /// `ConcurrentSkipListMap`, this re-descends from the head.
+    pub fn predecessor(&self, key: &K) -> Option<(K, V)> {
+        let guard = &pin();
+        let f = self.find(key, guard);
+        let pred = f.preds[0];
+        // SAFETY: list node under `guard`.
+        let n = unsafe { pred.deref() };
+        n.key
+            .as_ref()
+            .map(|k| (k.clone(), n.value.clone().unwrap()))
+    }
+
+    /// Number of keys (O(n) snapshot).
+    pub fn len(&self) -> usize {
+        let guard = &pin();
+        let mut count = 0;
+        let mut cur = unsafe { self.head(guard).deref() }.next[0]
+            .load(Ordering::SeqCst, guard)
+            .with_tag(0);
+        while !cur.is_null() {
+            let n = unsafe { cur.deref() };
+            let succ = n.next[0].load(Ordering::SeqCst, guard);
+            if succ.tag() == 0 {
+                count += 1;
+            }
+            cur = succ.with_tag(0);
+        }
+        count
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorted snapshot of the contents.
+    pub fn collect(&self) -> Vec<(K, V)> {
+        let guard = &pin();
+        let mut out = Vec::new();
+        let mut cur = unsafe { self.head(guard).deref() }.next[0]
+            .load(Ordering::SeqCst, guard)
+            .with_tag(0);
+        while !cur.is_null() {
+            let n = unsafe { cur.deref() };
+            let succ = n.next[0].load(Ordering::SeqCst, guard);
+            if succ.tag() == 0 {
+                out.push((n.key.clone().unwrap(), n.value.clone().unwrap()));
+            }
+            cur = succ.with_tag(0);
+        }
+        out
+    }
+}
+
+impl<K, V> Default for SkipListMap<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> Drop for SkipListMap<K, V> {
+    fn drop(&mut self) {
+        let guard = unsafe { crossbeam_epoch::unprotected() };
+        let mut cur = self.head.load(Ordering::SeqCst, guard);
+        while !cur.is_null() {
+            // SAFETY: exclusive access; bottom level links every node.
+            let next = unsafe { cur.deref() }.next[0].load(Ordering::SeqCst, guard);
+            unsafe { drop(cur.into_owned()) };
+            cur = next.with_tag(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn basics() {
+        let m = SkipListMap::new();
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.insert(3, 30), None);
+        assert_eq!(m.get(&3), Some(30));
+        assert_eq!(m.insert(3, 31), Some(30));
+        assert_eq!(m.get(&3), Some(31));
+        assert_eq!(m.remove(&3), Some(31));
+        assert_eq!(m.remove(&3), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn random_against_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = SkipListMap::new();
+        let mut model = BTreeMap::new();
+        for step in 0..10_000u64 {
+            let k = rng.gen_range(0..400u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(m.insert(k, step), model.insert(k, step)),
+                1 => assert_eq!(m.remove(&k), model.remove(&k)),
+                _ => assert_eq!(m.get(&k), model.get(&k).copied()),
+            }
+        }
+        assert_eq!(m.collect(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn successor_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = SkipListMap::new();
+        let mut model = BTreeMap::new();
+        for _ in 0..2000 {
+            let k = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.7) {
+                m.insert(k, k);
+                model.insert(k, k);
+            } else {
+                m.remove(&k);
+                model.remove(&k);
+            }
+            let probe = rng.gen_range(0..256u64);
+            let expect = model.range(probe + 1..).next().map(|(k, v)| (*k, *v));
+            assert_eq!(m.successor(&probe), expect);
+        }
+    }
+
+    #[test]
+    fn concurrent_stripes() {
+        let m = Arc::new(SkipListMap::new());
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    let base = tid * 2000;
+                    for i in 0..2000 {
+                        assert_eq!(m.insert(base + i, i), None);
+                    }
+                    for i in (0..2000).step_by(2) {
+                        assert_eq!(m.remove(&(base + i)), Some(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 4 * 1000);
+    }
+
+    #[test]
+    fn concurrent_shared_contention() {
+        let m = Arc::new(SkipListMap::new());
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    use rand::{rngs::StdRng, Rng, SeedableRng};
+                    let mut rng = StdRng::seed_from_u64(tid);
+                    for i in 0..30_000u64 {
+                        let k = rng.gen_range(0..64u64);
+                        if i % 2 == 0 {
+                            m.insert(k, i);
+                        } else {
+                            m.remove(&k);
+                        }
+                    }
+                });
+            }
+        });
+        // Sorted, unique keys within range.
+        let snap = m.collect();
+        for w in snap.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(snap.iter().all(|(k, _)| *k < 64));
+    }
+}

@@ -1,0 +1,108 @@
+//! A uniform `u64 → u64` map interface over every structure in the suite.
+
+use nbbst::NbBst;
+use ravl::RelaxedAvl;
+use nbskiplist::SkipListMap;
+use nbtree::ChromaticTree;
+use seqrbt::RbGlobal;
+use tinystm::RbStm;
+
+/// Object-safe concurrent map interface used by the harness. Keys and
+/// values are fixed to `u64` as in the paper's experiments.
+pub trait ConcurrentMap: Send + Sync {
+    /// Structure name as used in figures.
+    fn name(&self) -> &'static str;
+    /// Insert, returning the displaced value.
+    fn insert(&self, k: u64, v: u64) -> Option<u64>;
+    /// Remove, returning the removed value.
+    fn remove(&self, k: &u64) -> Option<u64>;
+    /// Lookup.
+    fn get(&self, k: &u64) -> Option<u64>;
+    /// O(n) size snapshot.
+    fn len(&self) -> usize;
+}
+
+/// All registered structure names, in the order figures print them.
+pub const ALL_MAPS: &[&str] = &[
+    "chromatic",
+    "chromatic6",
+    "nbbst",
+    "ravl",
+    "skiplist",
+    "lockavl",
+    "rbstm",
+    "rbglobal",
+];
+
+/// Instantiates a map by name; `None` for unknown names.
+pub fn make_map(name: &str) -> Option<Box<dyn ConcurrentMap>> {
+    Some(match name {
+        "chromatic" => Box::new(NamedChromatic {
+            inner: ChromaticTree::new(),
+            name: "chromatic",
+        }),
+        "chromatic6" => Box::new(NamedChromatic {
+            inner: ChromaticTree::with_allowed_violations(6),
+            name: "chromatic6",
+        }),
+        "nbbst" => Box::new(NbBst::<u64, u64>::new()),
+        "ravl" => Box::new(RelaxedAvl::<u64, u64>::new()),
+        "skiplist" => Box::new(SkipListMap::<u64, u64>::new()),
+        "lockavl" => Box::new(lockavl::LockAvl::<u64, u64>::new()),
+        "rbstm" => Box::new(RbStm::<u64, u64>::new()),
+        "rbglobal" => Box::new(RbGlobal::<u64, u64>::new()),
+        _ => return None,
+    })
+}
+
+struct NamedChromatic {
+    inner: ChromaticTree<u64, u64>,
+    name: &'static str,
+}
+
+impl ConcurrentMap for NamedChromatic {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        self.inner.insert(k, v)
+    }
+    fn remove(&self, k: &u64) -> Option<u64> {
+        self.inner.remove(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.inner.get(k)
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+macro_rules! impl_map {
+    ($ty:ty, $name:literal) => {
+        impl ConcurrentMap for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn insert(&self, k: u64, v: u64) -> Option<u64> {
+                <$ty>::insert(self, k, v)
+            }
+            fn remove(&self, k: &u64) -> Option<u64> {
+                <$ty>::remove(self, k)
+            }
+            fn get(&self, k: &u64) -> Option<u64> {
+                <$ty>::get(self, k)
+            }
+            fn len(&self) -> usize {
+                <$ty>::len(self)
+            }
+        }
+    };
+}
+
+impl_map!(NbBst<u64, u64>, "nbbst");
+impl_map!(RelaxedAvl<u64, u64>, "ravl");
+impl_map!(SkipListMap<u64, u64>, "skiplist");
+impl_map!(lockavl::LockAvl<u64, u64>, "lockavl");
+impl_map!(RbStm<u64, u64>, "rbstm");
+impl_map!(RbGlobal<u64, u64>, "rbglobal");

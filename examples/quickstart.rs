@@ -1,0 +1,42 @@
+//! Quickstart: the non-blocking chromatic tree as an ordered map.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use nbtree::ChromaticTree;
+use std::sync::Arc;
+
+fn main() {
+    // A lock-free linearizable ordered dictionary (paper §5).
+    let tree = Arc::new(ChromaticTree::new());
+
+    tree.insert("apple", 3);
+    tree.insert("banana", 7);
+    tree.insert("cherry", 11);
+    println!("banana -> {:?}", tree.get(&"banana"));
+    println!("after apple comes {:?}", tree.successor(&"apple"));
+    println!("before cherry comes {:?}", tree.predecessor(&"cherry"));
+
+    // Shared freely across threads: every operation is lock-free.
+    std::thread::scope(|s| {
+        for tid in 0..4 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for i in 0..1000 {
+                    let key: &'static str = Box::leak(format!("k{tid}-{i}").into_boxed_str());
+                    tree.insert(key, i);
+                }
+            });
+        }
+    });
+    println!("keys after concurrent inserts: {}", tree.len());
+
+    // The structure is a valid chromatic tree at every quiescent point;
+    // with the default policy it is an exact red-black tree.
+    let report = tree.audit();
+    println!(
+        "height = {}, violations = {}, valid = {}",
+        report.height,
+        report.violations(),
+        report.is_valid()
+    );
+}

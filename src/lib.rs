@@ -1,0 +1,17 @@
+//! Umbrella crate re-exporting the non-blocking tree suite.
+//!
+//! See the individual crates for documentation:
+//! - [`llxscx`]: LLX/SCX/VLX primitives (the PODC'13 substrate)
+//! - [`nbtree`]: tree update template + non-blocking chromatic tree (the paper's contribution)
+//! - [`nbbst`], [`ravl`]: other trees built with the template
+//! - [`nbskiplist`], [`seqrbt`], [`tinystm`], [`lockavl`]: experimental baselines
+//! - [`workload`]: benchmark harness
+pub use llxscx;
+pub use lockavl;
+pub use nbbst;
+pub use nbskiplist;
+pub use nbtree;
+pub use ravl;
+pub use seqrbt;
+pub use tinystm;
+pub use workload;
