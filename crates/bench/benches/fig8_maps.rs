@@ -10,9 +10,12 @@ fn bench_mixes(c: &mut Criterion) {
     for (range, label) in [(100u64, "hi-contention-1e2"), (10_000, "moderate-1e4")] {
         let mut group = c.benchmark_group(format!("fig8/{label}/50i-50d"));
         group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(1));
         group.warm_up_time(std::time::Duration::from_millis(400));
-        let mix = Mix { inserts: 50, deletes: 50 };
+        let mix = Mix {
+            inserts: 50,
+            deletes: 50,
+        };
         for name in ALL_MAPS {
             let map = make_map(name).unwrap();
             prefill(map.as_ref(), range, mix, 7);
@@ -32,9 +35,12 @@ fn bench_mixes(c: &mut Criterion) {
 
         let mut group = c.benchmark_group(format!("fig8/{label}/0i-0d"));
         group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(1));
         group.warm_up_time(std::time::Duration::from_millis(400));
-        let mix = Mix { inserts: 0, deletes: 0 };
+        let mix = Mix {
+            inserts: 0,
+            deletes: 0,
+        };
         for name in ALL_MAPS {
             let map = make_map(name).unwrap();
             prefill(map.as_ref(), range, mix, 7);

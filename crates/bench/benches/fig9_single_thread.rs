@@ -8,12 +8,15 @@ use workload::{make_map, prefill, Mix, ALL_MAPS};
 
 fn bench_overhead(c: &mut Criterion) {
     let range = 100_000u64;
-    let mix = Mix { inserts: 20, deletes: 10 };
+    let mix = Mix {
+        inserts: 20,
+        deletes: 10,
+    };
 
     let mut group = c.benchmark_group("fig9/20i-10d");
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(1));
-        group.warm_up_time(std::time::Duration::from_millis(400));
+    group.warm_up_time(std::time::Duration::from_millis(400));
 
     // Sequential baseline.
     let mut seq = seqrbt::RbTree::new();

@@ -10,10 +10,20 @@ use std::sync::Arc;
 
 fn main() {
     let duration = trial_duration();
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(4);
     let range = 10_000u64;
     println!("# Ablation: allowed violations k (50i-50d, range 1e4, {threads} threads)");
-    print_row("k", &["Mops/s".into(), "steps/op".into(), "height".into(), "cleanups/op".into()]);
+    print_row(
+        "k",
+        &[
+            "Mops/s".into(),
+            "steps/op".into(),
+            "height".into(),
+            "cleanups/op".into(),
+        ],
+    );
     for k in [0u32, 1, 2, 6, 16, 64] {
         let t = Arc::new(ChromaticTree::<u64, u64>::with_allowed_violations(k));
         let mut rng = StdRng::seed_from_u64(1);

@@ -42,7 +42,9 @@ fn main() {
     let duration = trial_duration();
     let n_trials = trials();
     let range = 1_000_000;
-    println!("# Figure 9: single-threaded throughput relative to sequential RBT (key range [0,1e6))");
+    println!(
+        "# Figure 9: single-threaded throughput relative to sequential RBT (key range [0,1e6))"
+    );
     let mixes = Mix::ALL;
     print_row(
         "structure",
@@ -54,7 +56,10 @@ fn main() {
         .collect();
     print_row(
         "seq-rbt",
-        &baselines.iter().map(|_| "1.00x".to_string()).collect::<Vec<_>>(),
+        &baselines
+            .iter()
+            .map(|_| "1.00x".to_string())
+            .collect::<Vec<_>>(),
     );
     for name in ALL_MAPS {
         if *name == "rbstm" {

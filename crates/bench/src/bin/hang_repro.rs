@@ -14,11 +14,23 @@ fn run(seed: u64, nthreads: u64, ops: u64, range: u64) -> usize {
                     let key = rng.gen_range(0..range);
                     match rng.gen_range(0..10) {
                         0..=4 => {
-                            if trace { eprintln!("[{:?}] op{} insert({key})", std::thread::current().id(), i); }
+                            if trace {
+                                eprintln!(
+                                    "[{:?}] op{} insert({key})",
+                                    std::thread::current().id(),
+                                    i
+                                );
+                            }
                             t.insert(key, tid);
                         }
                         _ => {
-                            if trace { eprintln!("[{:?}] op{} remove({key})", std::thread::current().id(), i); }
+                            if trace {
+                                eprintln!(
+                                    "[{:?}] op{} remove({key})",
+                                    std::thread::current().id(),
+                                    i
+                                );
+                            }
                             t.remove(&key);
                         }
                     }
@@ -31,7 +43,10 @@ fn run(seed: u64, nthreads: u64, ops: u64, range: u64) -> usize {
         eprintln!("seed {seed}: INVALID {:?}", rep.errors);
     }
     if rep.violations() > 0 && std::env::var("DUMP").is_ok() {
-        eprintln!("seed {seed}: {} redred {} ow", rep.red_red_violations, rep.overweight_violations);
+        eprintln!(
+            "seed {seed}: {} redred {} ow",
+            rep.red_red_violations, rep.overweight_violations
+        );
         t.debug_dump(16);
     }
     rep.violations()
@@ -47,7 +62,9 @@ fn main() {
     for seed in 0..40 {
         let v = run(seed, nt, ops, range);
         if v > 0 {
-            eprintln!("seed {seed}: {v} orphaned violations (threads={nt} ops={ops} range={range})");
+            eprintln!(
+                "seed {seed}: {v} orphaned violations (threads={nt} ops={ops} range={range})"
+            );
             std::process::exit(1);
         }
     }

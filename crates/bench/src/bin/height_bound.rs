@@ -14,12 +14,17 @@ fn log2ceil(n: usize) -> usize {
 
 fn main() {
     println!("# Height bound experiment (§5.3): height vs 2·log2(n+1) + k");
-    println!("{:<10} {:>3} {:>9} {:>8} {:>8} {:>11}", "n", "k", "height", "bound", "viols", "ok");
+    println!(
+        "{:<10} {:>3} {:>9} {:>8} {:>8} {:>11}",
+        "n", "k", "height", "bound", "viols", "ok"
+    );
     for k in [0u32, 6] {
         for exp in [10u32, 13, 16] {
             let n = 1u64 << exp;
             let t = Arc::new(ChromaticTree::with_allowed_violations(k));
-            let threads = std::thread::available_parallelism().map(|x| x.get().min(8)).unwrap_or(4);
+            let threads = std::thread::available_parallelism()
+                .map(|x| x.get().min(8))
+                .unwrap_or(4);
             let stop = Arc::new(AtomicBool::new(false));
             // Concurrent random churn around a prefilled set.
             std::thread::scope(|s| {
@@ -53,7 +58,12 @@ fn main() {
             let ok = report.height <= bound;
             println!(
                 "{:<10} {:>3} {:>9} {:>8} {:>8} {:>11}",
-                report.keys, k, report.height, bound, report.violations(), ok
+                report.keys,
+                k,
+                report.height,
+                bound,
+                report.violations(),
+                ok
             );
             assert!(ok, "height bound violated");
         }

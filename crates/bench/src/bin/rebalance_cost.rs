@@ -8,7 +8,10 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
     println!("# Amortized rebalancing steps per update (bound: 3/insert + 1/delete)");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>9} {:>7}", "workload", "inserts", "deletes", "steps", "bound", "ok");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>7}",
+        "workload", "inserts", "deletes", "steps", "bound", "ok"
+    );
     let scenarios: &[(&str, u64, f64)] = &[
         ("ascending", 1 << 16, 0.0),
         ("random", 1 << 16, 0.0),
@@ -19,7 +22,11 @@ fn main() {
         let t = ChromaticTree::new();
         let mut rng = StdRng::seed_from_u64(9);
         let (mut inserts, mut deletes) = (0u64, 0u64);
-        let range = if *name == "churn-small" { 512 } else { u64::MAX };
+        let range = if *name == "churn-small" {
+            512
+        } else {
+            u64::MAX
+        };
         for i in 0..*n {
             if rng.gen_bool(*delete_frac) {
                 let k = rng.gen_range(0..range.min(2 * n));
@@ -38,7 +45,12 @@ fn main() {
         let bound = 3 * inserts + deletes;
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>9} {:>7}",
-            name, inserts, deletes, steps, bound, steps <= bound
+            name,
+            inserts,
+            deletes,
+            steps,
+            bound,
+            steps <= bound
         );
         assert!(steps <= bound, "amortized bound violated");
         let dist = t.stats().steps();

@@ -30,7 +30,9 @@ pub fn trials() -> usize {
 
 /// `NBTREE_BENCH_FULL=1` switches to the paper's 5s × 5-trial methodology.
 pub fn full_scale() -> bool {
-    std::env::var("NBTREE_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("NBTREE_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The paper's key ranges: 1e2 (high contention), 1e4 (moderate), 1e6 (low).

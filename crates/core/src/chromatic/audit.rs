@@ -58,7 +58,9 @@ where
         // SAFETY: entry is never removed.
         let entry_ref = unsafe { entry.deref() };
         if entry_ref.weight() != 1 || !entry_ref.is_sentinel_key() {
-            report.errors.push("entry must be a weight-1 sentinel".into());
+            report
+                .errors
+                .push("entry must be a weight-1 sentinel".into());
         }
         let below = entry_ref.read_child(0, guard);
         if below.is_null() {
@@ -167,9 +169,9 @@ where
                 None => *path_weight = Some(sum),
                 Some(expect) => {
                     if sum != *expect {
-                        report.errors.push(format!(
-                            "unequal weighted path sums: {sum} vs {expect}"
-                        ));
+                        report
+                            .errors
+                            .push(format!("unequal weighted path sums: {sum} vs {expect}"));
                     }
                 }
             }
@@ -182,12 +184,16 @@ where
             };
             if let Some(lo) = lo {
                 if key < lo {
-                    report.errors.push(format!("internal key {key:?} below range"));
+                    report
+                        .errors
+                        .push(format!("internal key {key:?} below range"));
                 }
             }
             if let Some(hi) = hi {
                 if key > hi {
-                    report.errors.push(format!("internal key {key:?} above range"));
+                    report
+                        .errors
+                        .push(format!("internal key {key:?} above range"));
                 }
             }
             self.audit_rec(
@@ -230,7 +236,10 @@ where
     /// `max_depth`. Diagnostic helper for tests and debugging.
     pub fn debug_dump(&self, max_depth: usize) {
         let guard = &pin();
-        fn rec<K: Ord + Clone + Send + Sync + 'static + std::fmt::Debug, V: Clone + Send + Sync + 'static>(
+        fn rec<
+            K: Ord + Clone + Send + Sync + 'static + std::fmt::Debug,
+            V: Clone + Send + Sync + 'static,
+        >(
             n: Shared<'_, Node<K, V>>,
             depth: usize,
             max_depth: usize,

@@ -182,14 +182,21 @@ where
             match self.try_insert(&res, &key, &value, guard) {
                 Ok((old, created_violation)) => {
                     if trace_enabled() {
-                        eprintln!("[{:?}] INSERT committed viol={}", std::thread::current().id(), created_violation);
+                        eprintln!(
+                            "[{:?}] INSERT committed viol={}",
+                            std::thread::current().id(),
+                            created_violation
+                        );
                     }
                     if created_violation {
                         self.stats.bump_violations_created();
                         if res.violations_seen + 1 > self.allowed_violations {
                             self.cleanup(&key);
                             if trace_enabled() {
-                                eprintln!("[{:?}] INSERT cleanup done", std::thread::current().id());
+                                eprintln!(
+                                    "[{:?}] INSERT cleanup done",
+                                    std::thread::current().id()
+                                );
                             }
                         }
                     }
@@ -210,14 +217,21 @@ where
             match self.try_delete(&res, key, guard) {
                 Ok((old, created_violation)) => {
                     if trace_enabled() {
-                        eprintln!("[{:?}] DELETE committed viol={}", std::thread::current().id(), created_violation);
+                        eprintln!(
+                            "[{:?}] DELETE committed viol={}",
+                            std::thread::current().id(),
+                            created_violation
+                        );
                     }
                     if created_violation {
                         self.stats.bump_violations_created();
                         if res.violations_seen + 1 > self.allowed_violations {
                             self.cleanup(key);
                             if trace_enabled() {
-                                eprintln!("[{:?}] DELETE cleanup done", std::thread::current().id());
+                                eprintln!(
+                                    "[{:?}] DELETE cleanup done",
+                                    std::thread::current().id()
+                                );
                             }
                         }
                     }
@@ -270,12 +284,7 @@ where
         out
     }
 
-    fn collect_rec<'g>(
-        &self,
-        n: Shared<'g, Node<K, V>>,
-        out: &mut Vec<(K, V)>,
-        guard: &'g Guard,
-    ) {
+    fn collect_rec<'g>(&self, n: Shared<'g, Node<K, V>>, out: &mut Vec<(K, V)>, guard: &'g Guard) {
         if n.is_null() {
             return;
         }

@@ -48,12 +48,7 @@ where
     /// One attempt at an adjacent-leaf query. `d = 0` finds the successor
     /// (remember the last *left* turn, then take the leftmost leaf of its
     /// right subtree); `d = 1` the predecessor (mirror).
-    fn try_adjacent<'g>(
-        &self,
-        key: &K,
-        d: usize,
-        guard: &'g Guard,
-    ) -> Attempt<Option<(K, V)>> {
+    fn try_adjacent<'g>(&self, key: &K, d: usize, guard: &'g Guard) -> Attempt<Option<(K, V)>> {
         let o = 1 - d;
         let entry = self.entry(guard);
         // Path of handles from the last `d`-side turn down to the current

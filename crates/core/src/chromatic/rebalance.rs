@@ -87,15 +87,21 @@ where
         l: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) {
-        let Some(hr) = try_llx(ggp, guard) else { return };
+        let Some(hr) = try_llx(ggp, guard) else {
+            return;
+        };
         if hr.left() != gp && hr.right() != gp {
             return;
         }
-        let Some(hrx) = try_llx(gp, guard) else { return };
+        let Some(hrx) = try_llx(gp, guard) else {
+            return;
+        };
         if hrx.left() != p && hrx.right() != p {
             return;
         }
-        let Some(hrxx) = try_llx(p, guard) else { return };
+        let Some(hrxx) = try_llx(p, guard) else {
+            return;
+        };
 
         // SAFETY: `l` reached from entry under `guard`; weights immutable.
         let l_ref = unsafe { l.deref() };
@@ -117,7 +123,9 @@ where
                 // SAFETY: gp is internal (it has child p), so both children
                 // are non-null.
                 if unsafe { rxr.deref() }.weight() == 0 {
-                    let Some(hrxr) = try_llx(rxr, guard) else { return };
+                    let Some(hrxr) = try_llx(rxr, guard) else {
+                        return;
+                    };
                     self.do_blk(&hr, &hrx, &hrxx, &hrxr, guard);
                 } else if l == hrxx.left() {
                     self.do_rb1(&hr, &hrx, &hrxx, 0, guard);
@@ -128,7 +136,9 @@ where
             } else if p == hrx.right() {
                 let rxl = hrx.left();
                 if unsafe { rxl.deref() }.weight() == 0 {
-                    let Some(hrxl) = try_llx(rxl, guard) else { return };
+                    let Some(hrxl) = try_llx(rxl, guard) else {
+                        return;
+                    };
                     self.do_blk(&hr, &hrx, &hrxl, &hrxx, guard);
                 } else if l == hrxx.right() {
                     self.do_rb1(&hr, &hrx, &hrxx, 1, guard);
@@ -168,11 +178,15 @@ where
                 if hrxx.node == hrx.left() {
                     let rxr = hrx.right();
                     if unsafe { rxr.deref() }.weight() == 0 {
-                        let Some(hrxr) = try_llx(rxr, guard) else { return };
+                        let Some(hrxr) = try_llx(rxr, guard) else {
+                            return;
+                        };
                         self.do_blk(hr, hrx, hrxx, &hrxr, guard);
                     } else if o == 1 {
                         // red-red at rxx's right child, rxx a left child: inside
-                        let Some(hs) = try_llx(sib, guard) else { return };
+                        let Some(hs) = try_llx(sib, guard) else {
+                            return;
+                        };
                         self.do_rb2(hr, hrx, hrxx, &hs, 0, guard);
                     } else {
                         // red-red at rxx's left child, rxx a left child: outside
@@ -181,13 +195,17 @@ where
                 } else if hrxx.node == hrx.right() {
                     let rxl = hrx.left();
                     if unsafe { rxl.deref() }.weight() == 0 {
-                        let Some(hrxl) = try_llx(rxl, guard) else { return };
+                        let Some(hrxl) = try_llx(rxl, guard) else {
+                            return;
+                        };
                         self.do_blk(hr, hrx, &hrxl, hrxx, guard);
                     } else if o == 1 {
                         // red-red at rxx's right child, rxx a right child: outside
                         self.do_rb1(hr, hrx, hrxx, 1, guard);
                     } else {
-                        let Some(hs) = try_llx(sib, guard) else { return };
+                        let Some(hs) = try_llx(sib, guard) else {
+                            return;
+                        };
                         self.do_rb2(hr, hrx, hrxx, &hs, 1, guard);
                     }
                 }
@@ -195,13 +213,17 @@ where
             }
             // Red sibling, black parent: W1–W4 / an RB2 at the rx level,
             // depending on the sibling's child nearer the violation.
-            let Some(hs) = try_llx(sib, guard) else { return };
+            let Some(hs) = try_llx(sib, guard) else {
+                return;
+            };
             let sl = hs.child(d);
             if sl.is_null() {
                 return; // sibling became a leaf: a node changed under us
             }
             let sl_w = unsafe { sl.deref() }.weight();
-            let Some(hsl) = try_llx(sl, guard) else { return };
+            let Some(hsl) = try_llx(sl, guard) else {
+                return;
+            };
             if sl_w > 1 {
                 self.do_w1(hrx, hrxx, hl, &hs, &hsl, d, guard);
             } else if sl_w == 0 {
@@ -216,12 +238,16 @@ where
                     return; // sl is a leaf: a node we LLXed was modified
                 }
                 if unsafe { far.deref() }.weight() == 0 {
-                    let Some(hfar) = try_llx(far, guard) else { return };
+                    let Some(hfar) = try_llx(far, guard) else {
+                        return;
+                    };
                     self.do_w4(hrx, hrxx, hl, &hs, &hsl, &hfar, d, guard);
                 } else {
                     let near = hsl.child(d);
                     if unsafe { near.deref() }.weight() == 0 {
-                        let Some(hnear) = try_llx(near, guard) else { return };
+                        let Some(hnear) = try_llx(near, guard) else {
+                            return;
+                        };
                         self.do_w3(hrx, hrxx, hl, &hs, &hsl, &hnear, d, guard);
                     } else {
                         self.do_w2(hrx, hrxx, hl, &hs, &hsl, d, guard);
@@ -229,18 +255,24 @@ where
                 }
             }
         } else if sib_w == 1 {
-            let Some(hs) = try_llx(sib, guard) else { return };
+            let Some(hs) = try_llx(sib, guard) else {
+                return;
+            };
             let far = hs.child(o);
             if far.is_null() {
                 return; // sibling is a leaf: a node we LLXed was modified
             }
             if unsafe { far.deref() }.weight() == 0 {
-                let Some(hfar) = try_llx(far, guard) else { return };
+                let Some(hfar) = try_llx(far, guard) else {
+                    return;
+                };
                 self.do_w5(hrx, hrxx, hl, &hs, &hfar, d, guard);
             } else {
                 let near = hs.child(d);
                 if unsafe { near.deref() }.weight() == 0 {
-                    let Some(hnear) = try_llx(near, guard) else { return };
+                    let Some(hnear) = try_llx(near, guard) else {
+                        return;
+                    };
                     self.do_w6(hrx, hrxx, hl, &hs, &hnear, d, guard);
                 } else {
                     self.do_push(hrx, hrxx, hl, &hs, d, guard);
@@ -248,7 +280,9 @@ where
             }
         } else {
             // Sibling also overweight: W7.
-            let Some(hs) = try_llx(sib, guard) else { return };
+            let Some(hs) = try_llx(sib, guard) else {
+                return;
+            };
             self.do_w7(hrx, hrxx, hl, &hs, d, guard);
         }
     }
@@ -387,7 +421,13 @@ where
         let nr = Self::copy(huxr, 1, guard);
         let w = Self::top_weight(hu, hux.node_ref().weight().max(1) - 1);
         let n = Node::internal(hux.node_ref().key().cloned(), w, nl, nr).into_shared(guard);
-        self.commit_step(Step::Blk, &[*hu, *hux, *huxl, *huxr], n, &[nl, nr, n], guard)
+        self.commit_step(
+            Step::Blk,
+            &[*hu, *hux, *huxl, *huxr],
+            n,
+            &[nl, nr, n],
+            guard,
+        )
     }
 
     /// **RB1 / RB1s** (single rotation): fixes a red-red violation at the
@@ -402,14 +442,7 @@ where
         guard: &'g Guard,
     ) -> bool {
         let o = 1 - d;
-        let inner = Self::mk(
-            hux.node_ref().key(),
-            0,
-            d,
-            hc.child(o),
-            hux.child(o),
-            guard,
-        );
+        let inner = Self::mk(hux.node_ref().key(), 0, d, hc.child(o), hux.child(o), guard);
         let w = Self::top_weight(hu, hux.node_ref().weight());
         let n = Self::mk(hc.node_ref().key(), w, d, hc.child(d), inner, guard);
         self.commit_step(Step::Rb1, &[*hu, *hux, *hc], n, &[inner, n], guard)
@@ -429,7 +462,14 @@ where
     ) -> bool {
         let o = 1 - d;
         let nd = Self::mk(hc.node_ref().key(), 0, d, hc.child(d), hgc.child(d), guard);
-        let no = Self::mk(hux.node_ref().key(), 0, d, hgc.child(o), hux.child(o), guard);
+        let no = Self::mk(
+            hux.node_ref().key(),
+            0,
+            d,
+            hgc.child(o),
+            hux.child(o),
+            guard,
+        );
         let w = Self::top_weight(hu, hux.node_ref().weight());
         let n = Self::mk(hgc.node_ref().key(), w, d, nd, no, guard);
         self.commit_step(Step::Rb2, &[*hu, *hux, *hc, *hgc], n, &[nd, no, n], guard)
@@ -571,7 +611,14 @@ where
         let o = 1 - d;
         let na = Self::copy(ha, ha.node_ref().weight() - 1, guard);
         let p2 = Self::mk(hux.node_ref().key(), 1, d, na, hsl.child(d), guard);
-        let p3 = Self::mk(hfar.node_ref().key(), 1, d, hfar.child(d), hfar.child(o), guard);
+        let p3 = Self::mk(
+            hfar.node_ref().key(),
+            1,
+            d,
+            hfar.child(d),
+            hfar.child(o),
+            guard,
+        );
         let p = Self::mk(hsl.node_ref().key(), 0, d, p2, p3, guard);
         let w = Self::top_weight(hu, hux.node_ref().weight());
         let n = Self::mk(hs.node_ref().key(), w, d, p, hs.child(o), guard);
@@ -601,7 +648,14 @@ where
         let o = 1 - d;
         let na = Self::copy(ha, ha.node_ref().weight() - 1, guard);
         let nl = Self::mk(hux.node_ref().key(), 1, d, na, hs.child(d), guard);
-        let nr = Self::mk(hfar.node_ref().key(), 1, d, hfar.child(d), hfar.child(o), guard);
+        let nr = Self::mk(
+            hfar.node_ref().key(),
+            1,
+            d,
+            hfar.child(d),
+            hfar.child(o),
+            guard,
+        );
         let w = Self::top_weight(hu, hux.node_ref().weight());
         let n = Self::mk(hs.node_ref().key(), w, d, nl, nr, guard);
         let [c0, c1] = Self::bfs2(*ha, *hs, d);
@@ -630,7 +684,14 @@ where
         let o = 1 - d;
         let na = Self::copy(ha, ha.node_ref().weight() - 1, guard);
         let nl = Self::mk(hux.node_ref().key(), 1, d, na, hnear.child(d), guard);
-        let nr = Self::mk(hs.node_ref().key(), 1, d, hnear.child(o), hs.child(o), guard);
+        let nr = Self::mk(
+            hs.node_ref().key(),
+            1,
+            d,
+            hnear.child(o),
+            hs.child(o),
+            guard,
+        );
         let w = Self::top_weight(hu, hux.node_ref().weight());
         let n = Self::mk(hnear.node_ref().key(), w, d, nl, nr, guard);
         let [c0, c1] = Self::bfs2(*ha, *hs, d);

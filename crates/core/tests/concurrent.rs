@@ -17,7 +17,11 @@ fn threads() -> usize {
 fn audit_ok(t: &ChromaticTree<u64, u64>) {
     let report = t.audit();
     assert!(report.is_valid(), "invariant breach: {:?}", report.errors);
-    assert_eq!(report.violations(), 0, "violations at quiescence: {report:?}");
+    assert_eq!(
+        report.violations(),
+        0,
+        "violations at quiescence: {report:?}"
+    );
 }
 
 /// Disjoint stripes: each thread fully owns its keys, so the final contents

@@ -30,12 +30,18 @@ fn pred_succ_repro() {
         let succ = model.range(probe + 1..).next().map(|(k, v)| (*k, *v));
         let got_s = t.successor(&probe);
         if got_s != succ {
-            panic!("step {step}: successor({probe}) = {got_s:?}, expected {succ:?}; contents={:?}", t.collect().iter().map(|x|x.0).collect::<Vec<_>>());
+            panic!(
+                "step {step}: successor({probe}) = {got_s:?}, expected {succ:?}; contents={:?}",
+                t.collect().iter().map(|x| x.0).collect::<Vec<_>>()
+            );
         }
         let pred = model.range(..probe).next_back().map(|(k, v)| (*k, *v));
         let got_p = t.predecessor(&probe);
         if got_p != pred {
-            panic!("step {step}: predecessor({probe}) = {got_p:?}, expected {pred:?}; keys={:?}", t.collect().iter().map(|x|x.0).collect::<Vec<_>>());
+            panic!(
+                "step {step}: predecessor({probe}) = {got_p:?}, expected {pred:?}; keys={:?}",
+                t.collect().iter().map(|x| x.0).collect::<Vec<_>>()
+            );
         }
     }
 }

@@ -7,11 +7,11 @@ use crossbeam_epoch::Shared;
 use crate::record::{Record, MAX_V};
 
 /// SCX in progress: the records in `V` that point here are frozen.
-pub(crate) const IN_PROGRESS: u8 = 0;
+pub const IN_PROGRESS: u8 = 0;
 /// SCX took effect: the update CAS happened and `R` is finalized.
-pub(crate) const COMMITTED: u8 = 1;
+pub const COMMITTED: u8 = 1;
 /// SCX failed: records that point here are unfrozen.
-pub(crate) const ABORTED: u8 = 2;
+pub const ABORTED: u8 = 2;
 
 /// The descriptor created by each invocation of [`scx`](crate::scx).
 ///

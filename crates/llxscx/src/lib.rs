@@ -33,7 +33,7 @@
 //!   several records.
 //!
 //! Linking is enforced *statically*: an [`LlxHandle`] borrows the epoch
-//! [`Guard`](crossbeam_epoch::Guard) it was created under, so a handle cannot
+//! [`Guard`] it was created under, so a handle cannot
 //! outlive the guard, and `scx`/`vlx` demand handles tied to the same guard.
 //! This replaces the per-process "last LLX table" of the paper.
 //!

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use crossbeam_epoch::{Guard, Owned, Shared};
 
 use crate::descriptor::{state_of, ScxRecord, ABORTED, COMMITTED, IN_PROGRESS};
-use crate::reclaim::{defer_dec_refs, defer_dispose_record, dec_refs, inc_refs};
+use crate::reclaim::{dec_refs, defer_dec_refs, defer_dispose_record, inc_refs};
 use crate::record::{load_info, quiescent, Record, MAX_ARITY, MAX_V};
 
 /// Result of an [`llx`].
@@ -156,7 +156,10 @@ pub struct ScxArgs<'a, 'g, N: Record> {
 /// epoch collector). Returns `false` if some record changed first.
 pub fn scx<'g, N: Record>(args: &ScxArgs<'_, 'g, N>, guard: &'g Guard) -> bool {
     let len = args.v.len();
-    assert!(len > 0 && len <= MAX_V, "SCX V-sequence length {len} out of range");
+    assert!(
+        len > 0 && len <= MAX_V,
+        "SCX V-sequence length {len} out of range"
+    );
     assert!(args.fld_record < len, "fld_record out of range");
     assert!(args.fld_idx < N::ARITY, "fld_idx out of range");
     debug_assert!(
@@ -254,11 +257,13 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
     for i in 0..desc.len {
         let node = &*desc.v[i];
         let expect: Shared<'_, ScxRecord<N>> = Shared::from(desc.info_fields[i] as *const _);
-        match node
-            .header()
-            .info
-            .compare_exchange(expect, desc_s, Ordering::SeqCst, Ordering::SeqCst, guard)
-        {
+        match node.header().info.compare_exchange(
+            expect,
+            desc_s,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            guard,
+        ) {
             Ok(_) => {
                 inc_refs(desc_s.as_raw());
                 if !expect.is_null() {

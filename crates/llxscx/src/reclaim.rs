@@ -96,10 +96,10 @@ pub(crate) unsafe fn defer_dec_refs<N: Record>(d: *const ScxRecord<N>, guard: &G
 /// any thread (typically: called from an epoch-deferred closure scheduled
 /// after the record was finalized and unlinked, or during structure drop).
 pub unsafe fn dispose_record<N: Record>(ptr: *const N) {
-    let info = (*ptr)
-        .header()
-        .info
-        .load(std::sync::atomic::Ordering::SeqCst, crossbeam_epoch::unprotected());
+    let info = (*ptr).header().info.load(
+        std::sync::atomic::Ordering::SeqCst,
+        crossbeam_epoch::unprotected(),
+    );
     if !info.is_null() {
         dec_refs(info.as_raw());
     }

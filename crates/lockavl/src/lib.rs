@@ -173,7 +173,13 @@ where
             );
             let new_left = Self::mk(l.key.clone(), l.value.clone(), ll, lrl, guard);
             let new_right = Self::mk(key, value, lrr, right, guard);
-            return Self::mk(lrn.key.clone(), lrn.value.clone(), new_left, new_right, guard);
+            return Self::mk(
+                lrn.key.clone(),
+                lrn.value.clone(),
+                new_left,
+                new_right,
+                guard,
+            );
         }
         if hr > hl + 1 {
             let r = unsafe { right.deref() };
@@ -192,7 +198,13 @@ where
             );
             let new_left = Self::mk(key, value, left, rll, guard);
             let new_right = Self::mk(r.key.clone(), r.value.clone(), rlr, rr, guard);
-            return Self::mk(rln.key.clone(), rln.value.clone(), new_left, new_right, guard);
+            return Self::mk(
+                rln.key.clone(),
+                rln.value.clone(),
+                new_left,
+                new_right,
+                guard,
+            );
         }
         Self::mk(key, value, left, right, guard)
     }
@@ -208,7 +220,13 @@ where
         guard: &'g Guard,
     ) -> Shared<'g, AvlNode<K, V>> {
         if node.is_null() {
-            return Self::mk(key.clone(), value.clone(), Shared::null(), Shared::null(), guard);
+            return Self::mk(
+                key.clone(),
+                value.clone(),
+                Shared::null(),
+                Shared::null(),
+                guard,
+            );
         }
         // SAFETY: old tree node under guard.
         let n = unsafe { node.deref() };
@@ -250,7 +268,10 @@ where
             return (r, (n.key.clone(), n.value.clone()));
         }
         let (nl, min) = Self::take_min(l, retired, guard);
-        (Self::balance(n.key.clone(), n.value.clone(), nl, r, guard), min)
+        (
+            Self::balance(n.key.clone(), n.value.clone(), nl, r, guard),
+            min,
+        )
     }
 
     fn remove_rec<'g>(
@@ -402,8 +423,18 @@ where
                     return Err("BST order (high)".into());
                 }
             }
-            let hl = rec(node.left.load(Ordering::Acquire, guard), lo, Some(&node.key), guard)?;
-            let hr = rec(node.right.load(Ordering::Acquire, guard), Some(&node.key), hi, guard)?;
+            let hl = rec(
+                node.left.load(Ordering::Acquire, guard),
+                lo,
+                Some(&node.key),
+                guard,
+            )?;
+            let hr = rec(
+                node.right.load(Ordering::Acquire, guard),
+                Some(&node.key),
+                hi,
+                guard,
+            )?;
             if hl.abs_diff(hr) > 1 {
                 return Err(format!("unbalanced: {hl} vs {hr}"));
             }

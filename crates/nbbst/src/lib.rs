@@ -192,7 +192,11 @@ where
                 }
                 3 => {
                     let hp = &handles[1];
-                    let sib = if hp.left() == l { hp.right() } else { hp.left() };
+                    let sib = if hp.left() == l {
+                        hp.right()
+                    } else {
+                        hp.left()
+                    };
                     TemplateStep::Llx(sib)
                 }
                 4 => {

@@ -71,7 +71,11 @@ where
         &self,
         key: &K,
         guard: &'g Guard,
-    ) -> (Shared<'g, Node<K, V>>, Shared<'g, Node<K, V>>, Shared<'g, Node<K, V>>) {
+    ) -> (
+        Shared<'g, Node<K, V>>,
+        Shared<'g, Node<K, V>>,
+        Shared<'g, Node<K, V>>,
+    ) {
         let mut gp = Shared::null();
         let mut p = self.entry(guard);
         // SAFETY: entry never removed; traversal under guard (C3).
@@ -141,7 +145,13 @@ where
                 (n, 0b10u8, None, vec![new_leaf, l_copy, n])
             };
             let ok = scx(
-                &ScxArgs { v: &[hp, hl], finalize, fld_record: 0, fld_idx: dir, new },
+                &ScxArgs {
+                    v: &[hp, hl],
+                    finalize,
+                    fld_record: 0,
+                    fld_idx: dir,
+                    new,
+                },
                 guard,
             );
             if ok {
@@ -166,7 +176,9 @@ where
             if gp.is_null() {
                 return None;
             }
-            let Some(hgp) = llx_ok(gp, guard) else { continue };
+            let Some(hgp) = llx_ok(gp, guard) else {
+                continue;
+            };
             let dir = if hgp.left() == p {
                 0
             } else if hgp.right() == p {
@@ -183,7 +195,9 @@ where
                 continue;
             };
             let Some(hl) = llx_ok(l, guard) else { continue };
-            let Some(hs) = llx_ok(sib, guard) else { continue };
+            let Some(hs) = llx_ok(sib, guard) else {
+                continue;
+            };
             let s_ref = hs.node_ref();
             let new = if s_ref.is_leaf(guard) {
                 Node::leaf(s_ref.key().cloned(), s_ref.value().cloned(), s_ref.weight())
@@ -197,7 +211,13 @@ where
                 [hgp, hp, hs, hl]
             };
             let ok = scx(
-                &ScxArgs { v: &v, finalize: 0b1110, fld_record: 0, fld_idx: dir, new },
+                &ScxArgs {
+                    v: &v,
+                    finalize: 0b1110,
+                    fld_record: 0,
+                    fld_idx: dir,
+                    new,
+                },
                 guard,
             );
             if ok {
@@ -253,7 +273,9 @@ where
         n: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> bool {
-        let Some(hp) = llx_ok(p, guard) else { return false };
+        let Some(hp) = llx_ok(p, guard) else {
+            return false;
+        };
         let dir = if hp.left() == n {
             0
         } else if hp.right() == n {
@@ -261,7 +283,9 @@ where
         } else {
             return false;
         };
-        let Some(hn) = llx_ok(n, guard) else { return false };
+        let Some(hn) = llx_ok(n, guard) else {
+            return false;
+        };
         let (rl, rr) = (rank(hn.left()), rank(hn.right()));
         if rl.abs_diff(rr) < 2 {
             // Rank refresh: replace by a copy with the recomputed rank.
@@ -273,7 +297,13 @@ where
             )
             .into_shared(guard);
             let ok = scx(
-                &ScxArgs { v: &[hp, hn], finalize: 0b10, fld_record: 0, fld_idx: dir, new },
+                &ScxArgs {
+                    v: &[hp, hn],
+                    finalize: 0b10,
+                    fld_record: 0,
+                    fld_idx: dir,
+                    new,
+                },
                 guard,
             );
             if !ok {
@@ -286,7 +316,9 @@ where
         let heavy = if rl > rr { 0 } else { 1 };
         let light = 1 - heavy;
         let c = hn.child(heavy);
-        let Some(hc) = llx_ok(c, guard) else { return false };
+        let Some(hc) = llx_ok(c, guard) else {
+            return false;
+        };
         if hc.node_ref().is_leaf(guard) {
             return false; // stale ranks below; refresh will happen there
         }
@@ -307,7 +339,9 @@ where
                 (vec![nn, top], top, vec![hp, hn, hc], 0b110)
             } else {
                 // Double rotation: c's inner child rises.
-                let Some(hi) = llx_ok(inner, guard) else { return false };
+                let Some(hi) = llx_ok(inner, guard) else {
+                    return false;
+                };
                 if hi.node_ref().is_leaf(guard) {
                     return false;
                 }
@@ -328,12 +362,20 @@ where
                     hn.child(light),
                     guard,
                 );
-                let top_rank = 1 + unsafe { nc.deref() }.weight().max(unsafe { nn.deref() }.weight());
+                let top_rank = 1 + unsafe { nc.deref() }
+                    .weight()
+                    .max(unsafe { nn.deref() }.weight());
                 let top = mk(hi.node_ref().key(), top_rank, heavy, nc, nn, guard);
                 (vec![nc, nn, top], top, vec![hp, hn, hc, hi], 0b1110)
             };
         let ok = scx(
-            &ScxArgs { v: &v, finalize, fld_record: 0, fld_idx: dir, new },
+            &ScxArgs {
+                v: &v,
+                finalize,
+                fld_record: 0,
+                fld_idx: dir,
+                new,
+            },
             guard,
         );
         if !ok {
@@ -400,10 +442,7 @@ where
 
     /// Longest root-to-leaf path (diagnostics).
     pub fn height(&self) -> usize {
-        fn rec<K: Send + Sync, V: Send + Sync>(
-            x: Shared<'_, Node<K, V>>,
-            guard: &Guard,
-        ) -> usize {
+        fn rec<K: Send + Sync, V: Send + Sync>(x: Shared<'_, Node<K, V>>, guard: &Guard) -> usize {
             if x.is_null() {
                 return 0;
             }

@@ -219,7 +219,7 @@ where
                 continue;
             }
             let height = random_height();
-            let mut node = Owned::new(SkipNode {
+            let node = Owned::new(SkipNode {
                 key: Some(key.clone()),
                 value: Some(value.clone()),
                 next: (0..height).map(|_| Atomic::null()).collect(),
@@ -232,13 +232,7 @@ where
             // SAFETY: preds are list nodes under `guard`.
             let bottom = unsafe { f.preds[0].deref() };
             if bottom.next[0]
-                .compare_exchange(
-                    f.succs[0],
-                    node,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                    guard,
-                )
+                .compare_exchange(f.succs[0], node, Ordering::SeqCst, Ordering::SeqCst, guard)
                 .is_err()
             {
                 // SAFETY: never published.
@@ -254,7 +248,13 @@ where
                     }
                     let pred = f.preds[level];
                     if unsafe { pred.deref() }.next[level]
-                        .compare_exchange(succ.with_tag(0), node, Ordering::SeqCst, Ordering::SeqCst, guard)
+                        .compare_exchange(
+                            succ.with_tag(0),
+                            node,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                            guard,
+                        )
                         .is_ok()
                     {
                         break;

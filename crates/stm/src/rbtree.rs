@@ -270,7 +270,11 @@ where
             // A red node always has a (black) grandparent: the root is black.
             let zppc = self.read(tx, zpp)?;
             let parent_is_left = zppc.left == zp;
-            let uncle = if parent_is_left { zppc.right } else { zppc.left };
+            let uncle = if parent_is_left {
+                zppc.right
+            } else {
+                zppc.left
+            };
             if self.is_red(tx, uncle)? {
                 let mut a = self.read(tx, zp)?;
                 a.red = false;

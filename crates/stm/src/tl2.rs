@@ -113,7 +113,10 @@ impl Tx {
     /// Transactional read. Returns `Err(Retry)` if the variable is locked
     /// or newer than this transaction's read version (TL2 invariant: every
     /// value read was committed no later than `rv`).
-    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, var: &Arc<TVar<T>>) -> Result<T, Retry> {
+    pub fn read<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        var: &Arc<TVar<T>>,
+    ) -> Result<T, Retry> {
         let addr = var.as_ref().addr();
         if let Some((_, buffered)) = self.writes.get(&addr) {
             return Ok(buffered
@@ -173,7 +176,8 @@ impl Tx {
                 let cur = var.version_word();
                 let locked_by_us = self.writes.contains_key(&var.addr());
                 let unlocked_ok = cur & 1 == 0 && cur == *seen;
-                let locked_ok = locked_by_us && (cur | 1) == (*seen | 1) && (cur >> 1) == (*seen >> 1);
+                let locked_ok =
+                    locked_by_us && (cur | 1) == (*seen | 1) && (cur >> 1) == (*seen >> 1);
                 if !(unlocked_ok || locked_ok) {
                     for (v, old) in locked {
                         v.unlock_restore(old);

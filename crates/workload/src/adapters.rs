@@ -1,9 +1,9 @@
 //! A uniform `u64 → u64` map interface over every structure in the suite.
 
 use nbbst::NbBst;
-use ravl::RelaxedAvl;
 use nbskiplist::SkipListMap;
 use nbtree::ChromaticTree;
+use ravl::RelaxedAvl;
 use seqrbt::RbGlobal;
 use tinystm::RbStm;
 

@@ -30,9 +30,18 @@ pub struct Mix {
 impl Mix {
     /// The paper's three mixes.
     pub const ALL: [Mix; 3] = [
-        Mix { inserts: 50, deletes: 50 },
-        Mix { inserts: 20, deletes: 10 },
-        Mix { inserts: 0, deletes: 0 },
+        Mix {
+            inserts: 50,
+            deletes: 50,
+        },
+        Mix {
+            inserts: 20,
+            deletes: 10,
+        },
+        Mix {
+            inserts: 0,
+            deletes: 0,
+        },
     ];
 
     /// `xi-yd` label as used in the paper.
@@ -221,7 +230,10 @@ mod tests {
     #[test]
     fn prefill_reaches_expected_size() {
         let map = make_map("chromatic").unwrap();
-        let mix = Mix { inserts: 50, deletes: 50 };
+        let mix = Mix {
+            inserts: 50,
+            deletes: 50,
+        };
         prefill(map.as_ref(), 1000, mix, 3);
         let n = map.len();
         assert!((450..=550).contains(&n), "prefilled size {n}");
@@ -230,11 +242,22 @@ mod tests {
     #[test]
     fn trial_counts_operations() {
         let map = make_map("skiplist").unwrap();
-        prefill(map.as_ref(), 1000, Mix { inserts: 20, deletes: 10 }, 3);
+        prefill(
+            map.as_ref(),
+            1000,
+            Mix {
+                inserts: 20,
+                deletes: 10,
+            },
+            3,
+        );
         let r = run_trial(
             map.as_ref(),
             2,
-            Mix { inserts: 20, deletes: 10 },
+            Mix {
+                inserts: 20,
+                deletes: 10,
+            },
             1000,
             Duration::from_millis(100),
             9,

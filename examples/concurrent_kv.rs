@@ -25,7 +25,9 @@ fn main() {
         }
     }
 
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(4);
     let stop = Arc::new(AtomicBool::new(false));
     let ops = Arc::new(AtomicU64::new(0));
     let started = Instant::now();

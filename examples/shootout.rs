@@ -7,9 +7,14 @@ use std::time::Duration;
 use workload::{measure, Mix, ALL_MAPS};
 
 fn main() {
-    let mix = Mix { inserts: 20, deletes: 10 };
+    let mix = Mix {
+        inserts: 20,
+        deletes: 10,
+    };
     let range = 10_000;
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(4);
     println!("20i-10d, key range [0,{range}), {threads} threads, 0.5s per structure:");
     for name in ALL_MAPS {
         let (mops, _) = measure(name, threads, mix, range, Duration::from_millis(500), 1, 42);

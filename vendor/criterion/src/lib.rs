@@ -1,0 +1,241 @@
+//! A wall-clock micro-benchmark harness, API-compatible with the subset of
+//! [`criterion`](https://docs.rs/criterion) this workspace uses.
+//!
+//! This is a **vendored offline stand-in** (the build environment has no
+//! crates.io access). It performs a warm-up, then timed sampling, and
+//! prints mean ns/iteration per benchmark — no statistics beyond the mean,
+//! no plots, no baseline comparison. The bench sources compile unchanged
+//! against the real crate when it becomes available.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+            default_warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time, warm_up_time) = (
+            self.default_sample_size,
+            self.default_measurement_time,
+            self.default_warm_up_time,
+        );
+        run_benchmark(&id.into().0, sample_size, measurement_time, warm_up_time, f);
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time to spend measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time to spend warming up each benchmark before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    iters_per_sample: u64,
+    total: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.total_iters += self.iters_per_sample;
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also calibrates how many iterations fit in one sample.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        total: Duration::ZERO,
+        total_iters: 0,
+    };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up_time {
+        f(&mut calib);
+        if calib.total_iters > u64::MAX / 4 {
+            break;
+        }
+        calib.iters_per_sample = calib.iters_per_sample.saturating_mul(2);
+    }
+    let per_iter = if calib.total_iters > 0 && !calib.total.is_zero() {
+        calib.total.as_secs_f64() / calib.total_iters as f64
+    } else {
+        1e-9
+    };
+    let budget = measurement_time.as_secs_f64() / sample_size.max(1) as f64;
+    let iters = ((budget / per_iter) as u64).clamp(1, 1 << 40);
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        total: Duration::ZERO,
+        total_iters: 0,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mean_ns = if b.total_iters > 0 {
+        b.total.as_nanos() as f64 / b.total_iters as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "{name:<50} {mean_ns:>12.1} ns/iter ({} iters)",
+        b.total_iters
+    );
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}

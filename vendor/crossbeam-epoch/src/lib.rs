@@ -1,0 +1,642 @@
+//! Epoch-based memory reclamation, API-compatible with the subset of
+//! [`crossbeam-epoch`](https://docs.rs/crossbeam-epoch) this workspace uses.
+//!
+//! This is a **vendored offline stand-in**: the build environment has no
+//! access to crates.io, so the workspace ships a small, self-contained
+//! implementation of the same interface. It can be deleted (together with
+//! the `[workspace.dependencies]` path entries) the moment the real crate
+//! is available; no source file outside `vendor/` names this crate as
+//! anything other than `crossbeam_epoch`.
+//!
+//! # Algorithm
+//!
+//! The classic three-epoch scheme:
+//!
+//! * A global epoch counter advances only when every currently *pinned*
+//!   participant has observed the current epoch.
+//! * [`pin`] marks the calling thread as pinned at the global epoch and
+//!   returns a [`Guard`]; loads performed under the guard may safely
+//!   dereference pointers unlinked by other threads.
+//! * [`Guard::defer_unchecked`] / [`Guard::defer_destroy`] queue a closure
+//!   tagged with the current global epoch `e`; it runs once the global
+//!   epoch reaches `e + 2`, at which point no thread that could have
+//!   observed the retired pointer is still pinned.
+//!
+//! Atomics carry pointer *tags* in the alignment bits, exactly like the
+//! real crate ([`Shared::tag`] / [`Shared::with_tag`]).
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A participant is not pinned.
+const UNPINNED: usize = usize::MAX;
+/// Run a garbage collection pass every this many unpins.
+const COLLECT_INTERVAL: usize = 64;
+
+struct Participant {
+    /// The epoch this thread is pinned at, or [`UNPINNED`].
+    epoch: AtomicUsize,
+}
+
+/// A queued deferred function. The closure is only run by the collector
+/// after the epoch gap proves exclusive access, which is what makes the
+/// (unsafe, caller-certified) cross-thread send sound.
+struct Deferred(Box<dyn FnOnce()>);
+unsafe impl Send for Deferred {}
+
+struct Global {
+    epoch: AtomicUsize,
+    participants: Mutex<Vec<Arc<Participant>>>,
+    garbage: Mutex<Vec<(usize, Deferred)>>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(0),
+        participants: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+    })
+}
+
+impl Global {
+    /// Advances the global epoch if every pinned participant is current,
+    /// pruning participants whose threads have exited.
+    fn try_advance(&self) {
+        let cur = self.epoch.load(Ordering::SeqCst);
+        let mut parts = match self.participants.try_lock() {
+            Ok(p) => p,
+            Err(_) => return, // someone else is advancing
+        };
+        parts.retain(|p| Arc::strong_count(p) > 1 || p.epoch.load(Ordering::SeqCst) != UNPINNED);
+        for p in parts.iter() {
+            let e = p.epoch.load(Ordering::SeqCst);
+            if e != UNPINNED && e != cur {
+                return;
+            }
+        }
+        let _ = self
+            .epoch
+            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Runs every deferred function whose tagged epoch is at least two
+    /// epochs behind the global epoch.
+    fn collect(&self) {
+        self.try_advance();
+        let cur = self.epoch.load(Ordering::SeqCst);
+        let ready: Vec<Deferred> = {
+            let mut garbage = match self.garbage.try_lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            let mut ready = Vec::new();
+            garbage.retain_mut(|(e, d)| {
+                if *e + 2 <= cur {
+                    ready.push(Deferred(mem::replace(&mut d.0, Box::new(|| ()))));
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for d in ready {
+            (d.0)();
+        }
+    }
+}
+
+struct LocalHandle {
+    participant: Arc<Participant>,
+    pin_depth: Cell<usize>,
+    unpin_count: Cell<usize>,
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        self.participant.epoch.store(UNPINNED, Ordering::SeqCst);
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalHandle = {
+        let participant = Arc::new(Participant {
+            epoch: AtomicUsize::new(UNPINNED),
+        });
+        global().participants.lock().unwrap().push(Arc::clone(&participant));
+        LocalHandle {
+            participant,
+            pin_depth: Cell::new(0),
+            unpin_count: Cell::new(0),
+        }
+    };
+}
+
+/// A witness that the current thread is pinned (or, for
+/// [`unprotected`], a promise of exclusive access).
+///
+/// Shared pointers loaded under a guard remain valid until the guard is
+/// dropped: deferred destruction waits out every guard pinned at retire
+/// time.
+pub struct Guard {
+    /// `false` for the `unprotected()` guard, which defers nothing and
+    /// runs deferred closures immediately.
+    pinned: bool,
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Pins the current thread and returns a [`Guard`].
+///
+/// Nested pins are cheap: only the outermost pin/unpin touches the global
+/// epoch state.
+pub fn pin() -> Guard {
+    LOCAL.with(|local| {
+        let depth = local.pin_depth.get();
+        local.pin_depth.set(depth + 1);
+        if depth == 0 {
+            let g = global();
+            // Publish our epoch, then re-check: a concurrent advance between
+            // the load and the store would otherwise go unnoticed.
+            loop {
+                let e = g.epoch.load(Ordering::SeqCst);
+                local.participant.epoch.store(e, Ordering::SeqCst);
+                if g.epoch.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+    });
+    Guard {
+        pinned: true,
+        _not_send: PhantomData,
+    }
+}
+
+/// Returns a dummy guard that does **not** pin the thread.
+///
+/// # Safety
+///
+/// The caller must guarantee no other thread can access the data protected
+/// by this guard (e.g. inside `Drop` of the owning structure). Deferred
+/// functions run immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    struct SyncGuard(Guard);
+    // SAFETY: the unprotected guard carries no thread-local state; its only
+    // method behavior is "run deferred functions immediately".
+    unsafe impl Sync for SyncGuard {}
+    static UNPROTECTED: SyncGuard = SyncGuard(Guard {
+        pinned: false,
+        _not_send: PhantomData,
+    });
+    &UNPROTECTED.0
+}
+
+impl Guard {
+    /// Defers `f` until no thread pinned at or before the current epoch
+    /// remains pinned.
+    ///
+    /// # Safety
+    ///
+    /// `f` must be safe to call from another thread once the epoch gap has
+    /// passed (the usual use is freeing memory unlinked before this call).
+    pub unsafe fn defer_unchecked<F: FnOnce() + 'static>(&self, f: F) {
+        if !self.pinned {
+            f();
+            return;
+        }
+        let g = global();
+        let e = g.epoch.load(Ordering::SeqCst);
+        g.garbage.lock().unwrap().push((e, Deferred(Box::new(f))));
+    }
+
+    /// Defers dropping the heap allocation behind `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been allocated via `Owned`/`Box` and must be
+    /// unreachable to threads that pin after this call; it must be retired
+    /// exactly once.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        unsafe fn dropper<T>(raw: usize) {
+            drop(Box::from_raw(raw as *mut T));
+        }
+        // Erase `T` through a fn pointer so the deferred closure is
+        // `'static` regardless of `T`'s bounds.
+        let f: unsafe fn(usize) = dropper::<T>;
+        let raw = ptr.as_raw() as usize;
+        self.defer_unchecked(move || unsafe { f(raw) });
+    }
+
+    /// Runs a collection cycle, executing any deferred functions whose
+    /// epoch gap has passed.
+    pub fn flush(&self) {
+        global().collect();
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if !self.pinned {
+            return;
+        }
+        LOCAL.with(|local| {
+            let depth = local.pin_depth.get() - 1;
+            local.pin_depth.set(depth);
+            if depth == 0 {
+                local.participant.epoch.store(UNPINNED, Ordering::SeqCst);
+                let n = local.unpin_count.get() + 1;
+                local.unpin_count.set(n);
+                if n % COLLECT_INTERVAL == 0 {
+                    global().collect();
+                }
+            }
+        });
+    }
+}
+
+/// Mask of the pointer bits available for tags: the low bits guaranteed
+/// zero by `T`'s alignment.
+fn low_bits<T>() -> usize {
+    mem::align_of::<T>() - 1
+}
+
+fn decompose<T>(data: usize) -> (*const T, usize) {
+    (
+        (data & !low_bits::<T>()) as *const T,
+        data & low_bits::<T>(),
+    )
+}
+
+/// Types that can be converted into a tagged pointer word and back; the
+/// bound on [`Atomic::store`] and [`Atomic::compare_exchange`] new values.
+pub trait Pointer<T> {
+    /// Consumes `self`, returning the tagged pointer word.
+    fn into_usize(self) -> usize;
+    /// Rebuilds `Self` from a tagged pointer word.
+    ///
+    /// # Safety
+    ///
+    /// `data` must have come from `into_usize` of the same `Self` type and
+    /// ownership must transfer (for `Owned`, exactly one reconstruction).
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An atomic, taggable pointer to `T`, the links out of which lock-free
+/// structures are built.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null pointer.
+    pub fn null() -> Self {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates `value` on the heap and points at it.
+    pub fn new(value: T) -> Self {
+        Self::from(Owned::new(value))
+    }
+
+    /// Loads the current (tagged) pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            data: self.data.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Stores a new (tagged) pointer.
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Single-word CAS. On failure the error carries both the value
+    /// actually found and ownership of the attempted new value.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.data, new_data, success, failure)
+        {
+            Ok(_) => Ok(Shared {
+                data: new_data,
+                _marker: PhantomData,
+            }),
+            Err(found) => Err(CompareExchangeError {
+                current: Shared {
+                    data: found,
+                    _marker: PhantomData,
+                },
+                // SAFETY: round-trip of the `new` we just consumed; the CAS
+                // failed so ownership never transferred to the atomic.
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Atomic {
+            data: AtomicUsize::new(owned.into_usize()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (raw, tag) = decompose::<T>(self.data.load(Ordering::SeqCst));
+        f.debug_struct("Atomic")
+            .field("raw", &raw)
+            .field("tag", &tag)
+            .finish()
+    }
+}
+
+/// The error returned by a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// Ownership of the proposed new value, handed back to the caller.
+    pub new: P,
+}
+
+/// An owned heap allocation, the `Box` of this crate.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts into a [`Shared`], transferring the allocation to the
+    /// epoch-managed heap.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            data: self.into_usize(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts back into a `Box`.
+    pub fn into_box(self) -> Box<T> {
+        let (raw, _) = decompose::<T>(self.into_usize());
+        // SAFETY: `Owned` always holds a unique Box allocation.
+        unsafe { Box::from_raw(raw as *mut T) }
+    }
+
+    /// Returns the same allocation with the tag bits set to `tag`.
+    pub fn with_tag(self, tag: usize) -> Self {
+        let data = self.into_usize();
+        Owned {
+            data: (data & !low_bits::<T>()) | (tag & low_bits::<T>()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        mem::forget(self);
+        data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let (raw, _) = decompose::<T>(self.data);
+        // SAFETY: `Owned` holds a live unique allocation.
+        unsafe { &*raw }
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let (raw, _) = decompose::<T>(self.data);
+        // SAFETY: `Owned` holds a live unique allocation.
+        unsafe { &mut *(raw as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let (raw, _) = decompose::<T>(self.data);
+        // SAFETY: `Owned` holds a live unique allocation.
+        unsafe { drop(Box::from_raw(raw as *mut T)) }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A tagged shared pointer valid for the lifetime of a [`Guard`].
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (tag 0).
+    pub fn null() -> Self {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the pointer part (ignoring the tag) is null.
+    pub fn is_null(&self) -> bool {
+        decompose::<T>(self.data).0.is_null()
+    }
+
+    /// The raw pointer with the tag stripped.
+    pub fn as_raw(&self) -> *const T {
+        decompose::<T>(self.data).0
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and the pointee alive for `'g` (which
+    /// epoch reclamation guarantees for pointers loaded under the guard).
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.as_raw()
+    }
+
+    /// `Some(&T)` unless null.
+    ///
+    /// # Safety
+    ///
+    /// As for [`deref`](Self::deref).
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        self.as_raw().as_ref()
+    }
+
+    /// Reclaims ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have unique access; no other thread may reach this
+    /// pointer any more.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null(), "into_owned on a null Shared");
+        Owned {
+            data: self.data,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The tag stored in the alignment bits.
+    pub fn tag(&self) -> usize {
+        decompose::<T>(self.data).1
+    }
+
+    /// The same pointer with the tag bits set to `tag`.
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        Shared {
+            data: (self.data & !low_bits::<T>()) | (tag & low_bits::<T>()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> From<*const T> for Shared<'_, T> {
+    fn from(raw: *const T) -> Self {
+        Shared {
+            data: raw as usize,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+impl<T> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (raw, tag) = decompose::<T>(self.data);
+        f.debug_struct("Shared")
+            .field("raw", &raw)
+            .field("tag", &tag)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let guard = &pin();
+        let p = Owned::new(42u64).into_shared(guard);
+        assert_eq!(p.tag(), 0);
+        let t = p.with_tag(1);
+        assert_eq!(t.tag(), 1);
+        assert_eq!(t.as_raw(), p.as_raw());
+        assert_eq!(unsafe { *t.deref() }, 42);
+        unsafe { drop(p.into_owned()) };
+    }
+
+    #[test]
+    fn cas_failure_returns_ownership() {
+        let guard = &pin();
+        let a = Atomic::new(1u64);
+        let cur = a.load(Ordering::SeqCst, guard);
+        let stale = Shared::null();
+        let attempt = Owned::new(2u64);
+        let err = a
+            .compare_exchange(stale, attempt, Ordering::SeqCst, Ordering::SeqCst, guard)
+            .unwrap_err();
+        assert_eq!(err.current, cur);
+        drop(err.new); // ownership came back; no leak, no double free
+        unsafe { drop(a.load(Ordering::SeqCst, guard).into_owned()) };
+    }
+
+    #[test]
+    fn deferred_destruction_runs() {
+        use std::sync::atomic::AtomicBool;
+        static RAN: AtomicBool = AtomicBool::new(false);
+        {
+            let guard = pin();
+            unsafe { guard.defer_unchecked(|| RAN.store(true, Ordering::SeqCst)) };
+        }
+        // Repeated pin/unpin cycles advance the epoch and run the closure.
+        for _ in 0..COLLECT_INTERVAL * 4 {
+            pin().flush();
+        }
+        assert!(RAN.load(Ordering::SeqCst));
+    }
+}

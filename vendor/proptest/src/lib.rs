@@ -1,0 +1,162 @@
+//! Property-based testing, API-compatible with the subset of
+//! [`proptest`](https://docs.rs/proptest) this workspace uses.
+//!
+//! This is a **vendored offline stand-in** (the build environment has no
+//! crates.io access). It supports the [`proptest!`] macro with a
+//! `#![proptest_config(..)]` header, [`prop_oneof!`], `prop_map`, tuple
+//! strategies, [`arbitrary::any`], [`collection::vec`], and the
+//! `prop_assert*` macros. Failing inputs are reported via `Debug`; there
+//! is **no shrinking** — a failure prints the raw generated case.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy) { .. }` becomes
+/// a `#[test]` (the attribute is written by the caller and passed through)
+/// that runs the body against `Config::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@body ($config) $($rest)*);
+    };
+    (
+        @body ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($arg:ident in $strategy:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    &($strategy),
+                    |$arg| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@body ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// A strategy choosing uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: `{:?}` != `{:?}`",
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuples_and_maps(pair in (any::<u16>(), any::<u16>()).prop_map(|(a, b)| (a % 7, b))) {
+            prop_assert!(pair.0 < 7);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 1..10)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn oneof_covers_arms(x in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(x == 1u8 || x == 2u8);
+        }
+    }
+
+    #[test]
+    fn failure_is_reported() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                &ProptestConfig::with_cases(4),
+                "always_fails",
+                &any::<u8>(),
+                |_| Err(TestCaseError::fail("nope")),
+            );
+        });
+        assert!(result.is_err());
+    }
+}
