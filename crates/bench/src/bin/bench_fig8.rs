@@ -1,0 +1,109 @@
+//! Machine-readable Figure-8 snapshot: runs the paper's three operation
+//! mixes on the chromatic tree at a small thread sweep with quick settings
+//! and records the result as a labeled run in `BENCH_fig8.json` at the repo
+//! root. Re-running with a different `--label` *merges* into the existing
+//! file (replacing a run with the same label), so a baseline captured before
+//! an optimization and the post-optimization numbers live side by side:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_fig8 -- --label baseline
+//! # ... optimize ...
+//! cargo run --release -p bench --bin bench_fig8 -- --label optimized
+//! ```
+//!
+//! Knobs: `NBTREE_BENCH_SECS` (per-trial seconds, default 0.5),
+//! `NBTREE_BENCH_TRIALS` (default 1), `NBTREE_BENCH_THREADS` (default
+//! `1,2,4`), `NBTREE_BENCH_RANGES` (first entry is used; default 10000),
+//! `--structure NAME` (default `chromatic`), `--out PATH` (default
+//! `BENCH_fig8.json`).
+
+use bench::json::Json;
+use bench::{bench_threads, trial_duration, trials};
+use workload::{measure, Mix};
+
+fn main() {
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_fig8.json");
+    let mut structure = String::from("chromatic");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            "--structure" => structure = args.next().expect("--structure needs a value"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_fig8 [--label NAME] [--out PATH] [--structure NAME]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let duration = trial_duration();
+    let n_trials = trials();
+    let threads = bench_threads(&[1, 2, 4]);
+    let range = std::env::var("NBTREE_BENCH_RANGES")
+        .ok()
+        .and_then(|s| s.split(',').next()?.trim().parse().ok())
+        .unwrap_or(10_000u64);
+
+    eprintln!(
+        "# bench_fig8: structure={structure} label={label} range={range} \
+         threads={threads:?} {n_trials} trial(s) x {duration:?}"
+    );
+
+    let mut results = Vec::new();
+    for mix in Mix::ALL {
+        let mix_label = mix.label();
+        for &t in &threads {
+            let (mops, _) = measure(&structure, t, mix, range, duration, n_trials, 42);
+            eprintln!("  {mix_label} threads={t}: {mops:.3} Mops/s");
+            results.push(Json::obj(vec![
+                ("mix", Json::Str(mix_label.to_string())),
+                ("threads", Json::Num(t as f64)),
+                ("mops", Json::Num(mops)),
+            ]));
+        }
+    }
+
+    let run = Json::obj(vec![
+        ("label", Json::Str(label.clone())),
+        ("structure", Json::Str(structure)),
+        ("range", Json::Num(range as f64)),
+        ("duration_secs", Json::Num(duration.as_secs_f64())),
+        ("trials", Json::Num(n_trials as f64)),
+        ("results", Json::Arr(results)),
+    ]);
+
+    // Merge: keep every run whose label differs, replace the matching one.
+    let mut runs: Vec<Json> = match std::fs::read_to_string(&out_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc) => doc
+                .get("runs")
+                .map(|r| r.items().to_vec())
+                .unwrap_or_default(),
+            Err(e) => {
+                eprintln!("warning: could not parse existing {out_path} ({e}); overwriting");
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    runs.retain(|r| r.get("label").and_then(Json::as_str) != Some(label.as_str()));
+    runs.push(run);
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("bench_fig8/v1".into())),
+        (
+            "host_threads",
+            Json::Num(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as f64,
+            ),
+        ),
+        ("runs", Json::Arr(runs)),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH_fig8.json");
+    eprintln!("wrote {out_path}");
+}

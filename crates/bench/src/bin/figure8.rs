@@ -9,13 +9,15 @@
 //! Quick run: `cargo run --release -p bench --bin figure8`
 //! Paper-scale: `NBTREE_BENCH_FULL=1 cargo run --release -p bench --bin figure8`
 
-use bench::{key_ranges, print_row, trial_duration, trials};
+use bench::{bench_threads, key_ranges, print_row, trial_duration, trials};
 use workload::{measure, thread_counts, Mix, ALL_MAPS};
 
 fn main() {
     let duration = trial_duration();
     let n_trials = trials();
-    let threads = thread_counts();
+    // Host-derived sweep, overridable via NBTREE_BENCH_THREADS (the CI
+    // bench-smoke job pins it to `1,2` to stay within its budget).
+    let threads = bench_threads(&thread_counts());
     println!(
         "# Figure 8: throughput (Mops/s); {} trial(s) x {:?} per cell; host threads {:?}",
         n_trials, duration, threads

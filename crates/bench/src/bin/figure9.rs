@@ -48,7 +48,10 @@ fn main() {
     let mixes = Mix::ALL;
     print_row(
         "structure",
-        &mixes.iter().map(|m| m.label()).collect::<Vec<_>>(),
+        &mixes
+            .iter()
+            .map(|m| m.label().to_string())
+            .collect::<Vec<_>>(),
     );
     let baselines: Vec<f64> = mixes
         .iter()

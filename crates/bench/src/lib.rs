@@ -2,6 +2,8 @@
 //! binaries (`figure8`, `figure9`, `height_bound`, `ablation_violations`,
 //! `rebalance_cost`).
 
+pub mod json;
+
 use std::time::Duration;
 
 /// Per-trial duration: `NBTREE_BENCH_SECS` (seconds, float), default 0.5s;
@@ -42,6 +44,18 @@ pub fn key_ranges() -> Vec<u64> {
         return s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
     }
     vec![100, 10_000, 1_000_000]
+}
+
+/// Thread counts to sweep: `NBTREE_BENCH_THREADS=1,2` overrides the
+/// host-derived default (used by the CI bench-smoke job to stay tiny).
+pub fn bench_threads(default: &[usize]) -> Vec<usize> {
+    if let Ok(s) = std::env::var("NBTREE_BENCH_THREADS") {
+        let v: Vec<usize> = s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    default.to_vec()
 }
 
 /// Prints one row of a fixed-width table.

@@ -19,7 +19,8 @@ pub use stats::Stats;
 
 use std::sync::atomic::Ordering;
 
-use llxscx::epoch::{pin, Atomic, Guard, Shared};
+use llxscx::epoch::{Atomic, Guard, Shared};
+use llxscx::with_guard;
 
 use crate::node::Node;
 
@@ -51,7 +52,7 @@ pub(crate) fn trace_enabled() -> bool {
 /// assert_eq!(tree.remove(&3), Some("three"));
 /// assert_eq!(tree.get(&3), None);
 /// ```
-pub struct ChromaticTree<K: Send + Sync, V: Send + Sync> {
+pub struct ChromaticTree<K: Send + Sync + 'static, V: Send + Sync + 'static> {
     /// The `entry` Data-record (paper Fig. 10): key `∞`, weight 1, never
     /// removed. Its left child is the second sentinel (or, when the
     /// dictionary is empty, a single `∞` leaf); its right child is unused.
@@ -64,8 +65,8 @@ pub struct ChromaticTree<K: Send + Sync, V: Send + Sync> {
 }
 
 // SAFETY: all shared mutable state is accessed through atomics/epoch guards.
-unsafe impl<K: Send + Sync, V: Send + Sync> Send for ChromaticTree<K, V> {}
-unsafe impl<K: Send + Sync, V: Send + Sync> Sync for ChromaticTree<K, V> {}
+unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for ChromaticTree<K, V> {}
+unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for ChromaticTree<K, V> {}
 
 /// The result of a search: the grandparent, parent and leaf on the search
 /// path (grandparent is null when the tree is empty — the leaf's parent is
@@ -112,13 +113,24 @@ where
         &self.stats
     }
 
+    /// Memory-ordering audit: `Acquire` — the entry pointer is written once
+    /// at construction and never changes; the acquiring load only needs to
+    /// see the sentinel nodes' initialization (release-published when the
+    /// tree was handed to other threads), same argument as
+    /// [`Node::read_child`].
+    #[inline]
     pub(crate) fn entry<'g>(&self, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
-        self.entry.load(Ordering::SeqCst, guard)
+        self.entry.load(Ordering::Acquire, guard)
     }
 
     /// The paper's `Search(key)` (Fig. 5): pure reads from `entry` down to a
     /// leaf, remembering the last three nodes. Also tallies violations on
     /// the path for the `allowed_violations` policy.
+    ///
+    /// `#[inline]`: this loop is the whole read path and most of every
+    /// update path; inlining it into `get`/`insert`/`remove` lets the
+    /// compiler keep the probe key and the three path pointers in registers.
+    #[inline]
     pub(crate) fn search<'g>(&self, key: &K, guard: &'g Guard) -> SearchResult<'g, K, V> {
         let mut gp = Shared::null();
         let mut p = self.entry(guard);
@@ -153,23 +165,28 @@ where
     ///
     /// Uses only plain reads (no LLX), exactly like a sequential BST search;
     /// correctness under concurrency is the paper's property C3 (§5.4).
+    /// Runs under the amortized cached guard ([`llxscx::with_guard`]), so
+    /// the epoch pin costs a thread-local re-entry rather than global
+    /// atomics — the paper's "searches perform no synchronization" design.
     pub fn get(&self, key: &K) -> Option<V> {
-        let guard = &pin();
-        let res = self.search(key, guard);
-        // SAFETY: see search.
-        let leaf = unsafe { res.leaf.deref() };
-        if leaf.key_eq(key) {
-            leaf.value().cloned()
-        } else {
-            None
-        }
+        with_guard(|guard| {
+            let res = self.search(key, guard);
+            // SAFETY: see search.
+            let leaf = unsafe { res.leaf.deref() };
+            if leaf.key_eq(key) {
+                leaf.value().cloned()
+            } else {
+                None
+            }
+        })
     }
 
     /// Whether the dictionary contains `key`.
     pub fn contains_key(&self, key: &K) -> bool {
-        let guard = &pin();
-        let res = self.search(key, guard);
-        unsafe { res.leaf.deref() }.key_eq(key)
+        with_guard(|guard| {
+            let res = self.search(key, guard);
+            unsafe { res.leaf.deref() }.key_eq(key)
+        })
     }
 
     /// Associates `value` with `key`; returns the previously associated
@@ -177,10 +194,16 @@ where
     /// SCX of the successful attempt.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         loop {
-            let guard = &pin();
-            let res = self.search(&key, guard);
-            match self.try_insert(&res, &key, &value, guard) {
-                Ok((old, created_violation)) => {
+            // One attempt per cached-guard entry: retries cross a
+            // `with_guard` boundary, so a long retry storm still lets the
+            // epoch advance at the repin interval.
+            let attempt = with_guard(|guard| {
+                let res = self.search(&key, guard);
+                self.try_insert(&res, &key, &value, guard)
+                    .map(|(old, viol)| (old, viol, res.violations_seen))
+            });
+            match attempt {
+                Ok((old, created_violation, violations_seen)) => {
                     if trace_enabled() {
                         eprintln!(
                             "[{:?}] INSERT committed viol={}",
@@ -190,7 +213,7 @@ where
                     }
                     if created_violation {
                         self.stats.bump_violations_created();
-                        if res.violations_seen + 1 > self.allowed_violations {
+                        if violations_seen + 1 > self.allowed_violations {
                             self.cleanup(&key);
                             if trace_enabled() {
                                 eprintln!(
@@ -212,10 +235,13 @@ where
     /// successful attempt (or, when the key is absent, like a query).
     pub fn remove(&self, key: &K) -> Option<V> {
         loop {
-            let guard = &pin();
-            let res = self.search(key, guard);
-            match self.try_delete(&res, key, guard) {
-                Ok((old, created_violation)) => {
+            let attempt = with_guard(|guard| {
+                let res = self.search(key, guard);
+                self.try_delete(&res, key, guard)
+                    .map(|(old, viol)| (old, viol, res.violations_seen))
+            });
+            match attempt {
+                Ok((old, created_violation, violations_seen)) => {
                     if trace_enabled() {
                         eprintln!(
                             "[{:?}] DELETE committed viol={}",
@@ -225,7 +251,7 @@ where
                     }
                     if created_violation {
                         self.stats.bump_violations_created();
-                        if res.violations_seen + 1 > self.allowed_violations {
+                        if violations_seen + 1 > self.allowed_violations {
                             self.cleanup(key);
                             if trace_enabled() {
                                 eprintln!(
@@ -245,32 +271,34 @@ where
     /// Number of keys. Takes a traversal snapshot (O(n)); not linearizable
     /// with respect to concurrent updates, like size in most concurrent maps.
     pub fn len(&self) -> usize {
-        let guard = &pin();
-        let mut count = 0usize;
-        let mut stack = vec![self.entry(guard)];
-        while let Some(n) = stack.pop() {
-            if n.is_null() {
-                continue;
-            }
-            // SAFETY: reached from entry under `guard`.
-            let node = unsafe { n.deref() };
-            if node.is_leaf(guard) {
-                if !node.is_sentinel_key() {
-                    count += 1;
+        with_guard(|guard| {
+            let mut count = 0usize;
+            let mut stack = vec![self.entry(guard)];
+            while let Some(n) = stack.pop() {
+                if n.is_null() {
+                    continue;
                 }
-            } else {
-                stack.push(node.read_child(0, guard));
-                stack.push(node.read_child(1, guard));
+                // SAFETY: reached from entry under `guard`.
+                let node = unsafe { n.deref() };
+                if node.is_leaf(guard) {
+                    if !node.is_sentinel_key() {
+                        count += 1;
+                    }
+                } else {
+                    stack.push(node.read_child(0, guard));
+                    stack.push(node.read_child(1, guard));
+                }
             }
-        }
-        count
+            count
+        })
     }
 
     /// Whether the dictionary is empty (same caveats as [`len`](Self::len)).
     pub fn is_empty(&self) -> bool {
-        let guard = &pin();
-        let entry = unsafe { self.entry(guard).deref() };
-        unsafe { entry.read_child(0, guard).deref() }.is_leaf(guard)
+        with_guard(|guard| {
+            let entry = unsafe { self.entry(guard).deref() };
+            unsafe { entry.read_child(0, guard).deref() }.is_leaf(guard)
+        })
     }
 
     /// A sorted snapshot of all key/value pairs, by in-order traversal.
@@ -278,10 +306,11 @@ where
     /// is individually linearizable; use [`successor`](Self::successor) for
     /// atomic adjacent-pair queries).
     pub fn collect(&self) -> Vec<(K, V)> {
-        let guard = &pin();
-        let mut out = Vec::new();
-        self.collect_rec(self.entry(guard), &mut out, guard);
-        out
+        with_guard(|guard| {
+            let mut out = Vec::new();
+            self.collect_rec(self.entry(guard), &mut out, guard);
+            out
+        })
     }
 
     fn collect_rec<'g>(&self, n: Shared<'g, Node<K, V>>, out: &mut Vec<(K, V)>, guard: &'g Guard) {
@@ -310,7 +339,7 @@ where
     }
 }
 
-impl<K: Send + Sync, V: Send + Sync> Drop for ChromaticTree<K, V> {
+impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Drop for ChromaticTree<K, V> {
     fn drop(&mut self) {
         // Exclusive access: free every node still in the tree. Descriptors
         // are released transitively by their reference counts.

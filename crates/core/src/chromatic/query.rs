@@ -4,8 +4,8 @@
 //! in an *adjacent* leaf) walk to that leaf and validate the connecting path
 //! with a VLX, which linearizes the query at the VLX.
 
-use llxscx::epoch::{pin, Guard};
-use llxscx::{llx, vlx, Llx, LlxHandle};
+use llxscx::epoch::Guard;
+use llxscx::{llx, vlx, with_guard, Llx, LlxHandle};
 
 use super::ChromaticTree;
 use crate::node::Node;
@@ -27,8 +27,8 @@ where
     /// `None` if no such key exists. Linearizable (§5.5).
     pub fn successor(&self, key: &K) -> Option<(K, V)> {
         loop {
-            let guard = &pin();
-            if let Attempt::Done(r) = self.try_adjacent(key, 0, guard) {
+            // One attempt per cached-guard entry (see `ChromaticTree::insert`).
+            if let Attempt::Done(r) = with_guard(|guard| self.try_adjacent(key, 0, guard)) {
                 return r;
             }
         }
@@ -38,8 +38,7 @@ where
     /// `None` if no such key exists. Linearizable (mirror of `successor`).
     pub fn predecessor(&self, key: &K) -> Option<(K, V)> {
         loop {
-            let guard = &pin();
-            if let Attempt::Done(r) = self.try_adjacent(key, 1, guard) {
+            if let Attempt::Done(r) = with_guard(|guard| self.try_adjacent(key, 1, guard)) {
                 return r;
             }
         }
@@ -145,8 +144,7 @@ where
     /// an adjacent-leaf walk validated by VLX.
     pub fn first(&self) -> Option<(K, V)> {
         loop {
-            let guard = &pin();
-            match self.try_extreme(0, guard) {
+            match with_guard(|guard| self.try_extreme(0, guard)) {
                 Attempt::Done(r) => return r,
                 Attempt::Interfered => continue,
             }
@@ -156,8 +154,7 @@ where
     /// The largest key (and value), or `None` when empty.
     pub fn last(&self) -> Option<(K, V)> {
         loop {
-            let guard = &pin();
-            match self.try_extreme(1, guard) {
+            match with_guard(|guard| self.try_extreme(1, guard)) {
                 Attempt::Done(r) => return r,
                 Attempt::Interfered => continue,
             }

@@ -13,7 +13,7 @@
 //! which is what lets each insertion/deletion clean up the violation it
 //! created by repeatedly searching for its own key.
 
-use llxscx::epoch::{pin, Guard, Shared};
+use llxscx::epoch::{Guard, Shared};
 use llxscx::{llx, scx, Llx, LlxHandle, ScxArgs};
 
 use super::stats::Step;
@@ -24,7 +24,7 @@ type H<'g, K, V> = LlxHandle<'g, Node<K, V>>;
 
 /// Convenience: LLX that propagates `Fail`/`Finalized` as `None`
 /// (the rebalancing attempt is abandoned; `Cleanup` restarts from `entry`).
-fn try_llx<'g, K: Send + Sync, V: Send + Sync>(
+fn try_llx<'g, K: Send + Sync + 'static, V: Send + Sync + 'static>(
     node: Shared<'g, Node<K, V>>,
     guard: &'g Guard,
 ) -> Option<H<'g, K, V>> {
@@ -47,31 +47,37 @@ where
     #[allow(unused_assignments)]
     pub(crate) fn cleanup(&self, key: &K) {
         loop {
-            let guard = &pin();
-            self.stats.bump_cleanup_passes();
-            let mut gp: Shared<'_, Node<K, V>> = Shared::null();
-            let mut p: Shared<'_, Node<K, V>> = Shared::null();
-            let mut ggp: Shared<'_, Node<K, V>> = Shared::null();
-            let mut l = self.entry(guard);
-            loop {
-                // SAFETY: reached from entry under `guard` (property C3).
-                let l_ref = unsafe { l.deref() };
-                if l_ref.is_leaf(guard) {
-                    return; // clean walk: our violation has been eliminated
-                }
-                let dir = if l_ref.route_left(key) { 0 } else { 1 };
-                ggp = gp;
-                gp = p;
-                p = l;
-                l = l_ref.read_child(dir, guard);
-                let l2 = unsafe { l.deref() };
-                let p2 = unsafe { p.deref() };
-                if l2.weight() > 1 || (p2.weight() == 0 && l2.weight() == 0) {
-                    if !ggp.is_null() {
-                        self.try_rebalance(ggp, gp, p, l, guard);
+            // One walk per cached-guard entry (see `ChromaticTree::insert`);
+            // `true` means the walk was clean and cleanup is done.
+            let clean = llxscx::with_guard(|guard| {
+                self.stats.bump_cleanup_passes();
+                let mut gp: Shared<'_, Node<K, V>> = Shared::null();
+                let mut p: Shared<'_, Node<K, V>> = Shared::null();
+                let mut ggp: Shared<'_, Node<K, V>> = Shared::null();
+                let mut l = self.entry(guard);
+                loop {
+                    // SAFETY: reached from entry under `guard` (property C3).
+                    let l_ref = unsafe { l.deref() };
+                    if l_ref.is_leaf(guard) {
+                        return true; // clean walk: our violation is gone
                     }
-                    break; // go back to entry and search again
+                    let dir = if l_ref.route_left(key) { 0 } else { 1 };
+                    ggp = gp;
+                    gp = p;
+                    p = l;
+                    l = l_ref.read_child(dir, guard);
+                    let l2 = unsafe { l.deref() };
+                    let p2 = unsafe { p.deref() };
+                    if l2.weight() > 1 || (p2.weight() == 0 && l2.weight() == 0) {
+                        if !ggp.is_null() {
+                            self.try_rebalance(ggp, gp, p, l, guard);
+                        }
+                        return false; // go back to entry and search again
+                    }
                 }
+            });
+            if clean {
+                return;
             }
         }
     }

@@ -12,6 +12,13 @@ use llxscx::{Record, RecordHeader};
 /// fields; `key`, `value` and `weight` are immutable, so updates that would
 /// change them replace the node by a fresh copy. `key = None` encodes the
 /// sentinel key `∞`, which is larger than every dictionary key.
+///
+/// Cache-line aligned: a search touches one node per level, and without
+/// alignment a ~72-byte node (for word-sized keys) straddles two lines,
+/// doubling the miss cost of every hop; alignment also keeps the hot
+/// `info`/`marked` header words of different nodes out of each other's
+/// lines (false sharing under concurrent freezing).
+#[repr(align(64))]
 pub struct Node<K, V> {
     header: RecordHeader<Self>,
     children: [Atomic<Self>; 2],
@@ -20,20 +27,26 @@ pub struct Node<K, V> {
     weight: u32,
 }
 
-impl<K: Send + Sync, V: Send + Sync> Record for Node<K, V> {
+impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Record for Node<K, V> {
     const ARITY: usize = 2;
+    #[inline]
     fn header(&self) -> &RecordHeader<Self> {
         &self.header
     }
+    #[inline]
     fn child(&self, i: usize) -> &Atomic<Self> {
         &self.children[i]
     }
 }
 
-impl<K: Send + Sync, V: Send + Sync> Node<K, V> {
+impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Node<K, V> {
     /// A leaf holding `key` (or the sentinel `∞` if `None`).
+    ///
+    /// Allocated through the thread-local record cache
+    /// ([`llxscx::slab`]): updates replace nodes constantly, and the
+    /// cache turns those aligned allocate/free pairs into pointer pushes.
     pub fn leaf(key: Option<K>, value: Option<V>, weight: u32) -> Owned<Self> {
-        Owned::new(Node {
+        llxscx::slab::alloc_owned(Node {
             header: RecordHeader::new(),
             children: [Atomic::null(), Atomic::null()],
             key,
@@ -62,25 +75,29 @@ impl<K: Send + Sync, V: Send + Sync> Node<K, V> {
         };
         node.children[0].store(left, Ordering::Release);
         node.children[1].store(right, Ordering::Release);
-        Owned::new(node)
+        llxscx::slab::alloc_owned(node)
     }
 
     /// The node's key; `None` is the sentinel `∞`.
+    #[inline]
     pub fn key(&self) -> Option<&K> {
         self.key.as_ref()
     }
 
     /// The value stored in a leaf (`None` for internal and sentinel nodes).
+    #[inline]
     pub fn value(&self) -> Option<&V> {
         self.value.as_ref()
     }
 
     /// The node's weight (0 = red, 1 = black, >1 = overweight).
+    #[inline]
     pub fn weight(&self) -> u32 {
         self.weight
     }
 
     /// Whether this node carries the sentinel key `∞`.
+    #[inline]
     pub fn is_sentinel_key(&self) -> bool {
         self.key.is_none()
     }
@@ -88,6 +105,7 @@ impl<K: Send + Sync, V: Send + Sync> Node<K, V> {
     /// `true` iff a search for `probe` descends into the left child:
     /// the BST routing rule `probe < node.key`, where `∞` compares greater
     /// than every key.
+    #[inline]
     pub fn route_left<Q>(&self, probe: &Q) -> bool
     where
         K: std::borrow::Borrow<Q>,
@@ -100,6 +118,7 @@ impl<K: Send + Sync, V: Send + Sync> Node<K, V> {
     }
 
     /// Whether the node's key equals `probe` (the sentinel never does).
+    #[inline]
     pub fn key_eq<Q>(&self, probe: &Q) -> bool
     where
         K: std::borrow::Borrow<Q>,
@@ -111,15 +130,26 @@ impl<K: Send + Sync, V: Send + Sync> Node<K, V> {
         }
     }
 
-    /// Loads the left (`0`) or right (`1`) child with a plain synchronized
-    /// read — the access pattern of the paper's read-only searches.
+    /// Loads the left (`0`) or right (`1`) child — the access pattern of
+    /// the paper's read-only searches.
+    ///
+    /// Memory-ordering audit: `Acquire`, not `SeqCst`. A search only needs
+    /// property C3 (§5.4): every child pointer it follows leads to a node
+    /// that was fully initialized before it was published. Children are
+    /// published either at node construction (happens-before the SCX update
+    /// CAS that publishes the node, which is `SeqCst` and hence a release)
+    /// or by the update CAS itself; an acquiring load of the child pointer
+    /// therefore sees the pointee's initialization. No search decision
+    /// depends on a total order of child loads across different nodes.
+    #[inline]
     pub fn read_child<'g>(&self, dir: usize, guard: &'g Guard) -> Shared<'g, Self> {
-        self.children[dir].load(Ordering::SeqCst, guard)
+        self.children[dir].load(Ordering::Acquire, guard)
     }
 
     /// Whether this node is a leaf. Leaves are created with both children
     /// null and children of internal nodes are never set to null, so reading
     /// one child suffices.
+    #[inline]
     pub fn is_leaf(&self, guard: &Guard) -> bool {
         self.read_child(0, guard).is_null()
     }

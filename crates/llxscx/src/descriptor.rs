@@ -1,9 +1,11 @@
 //! SCX-records: the descriptors that coordinate multi-record updates.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 
 use crossbeam_epoch::Shared;
 
+use crate::pool::PoolShared;
 use crate::record::{Record, MAX_V};
 
 /// SCX in progress: the records in `V` that point here are frozen.
@@ -13,7 +15,7 @@ pub const COMMITTED: u8 = 1;
 /// SCX failed: records that point here are unfrozen.
 pub const ABORTED: u8 = 2;
 
-/// The descriptor created by each invocation of [`scx`](crate::scx).
+/// The descriptor used by each invocation of [`scx`](crate::scx).
 ///
 /// A successful freezing CAS installs a pointer to this record into the
 /// `info` field of each record in `V` (in order). While `state` is
@@ -22,52 +24,133 @@ pub const ABORTED: u8 = 2;
 /// everything needed for any thread to *help* complete the SCX, which is
 /// what makes the construction lock-free.
 ///
-/// All fields except `state`, `all_frozen` and `refs` are immutable after
-/// construction.
+/// # Reuse ("reuse, don't recycle")
 ///
-/// # Reclamation
+/// Unlike the PODC'13 presentation (fresh descriptor per SCX, garbage
+/// collector assumed), descriptors here are **pooled per thread** and
+/// reused: each [`scx`](crate::scx) checks one out of the calling thread's
+/// [`pool`](crate::pool), overwrites the payload, and returns it when its
+/// reference count drops to zero. Two mechanisms make reuse safe:
 ///
-/// `refs` counts (a) records whose `info` currently points at this
-/// descriptor and (b) live descriptors that list this one in `info_fields`.
-/// The descriptor is freed when the count drops to zero; see
-/// [`reclaim`](crate::reclaim).
+/// * `refs` proves quiescence: it counts the records whose `info` field
+///   currently points at this descriptor, and reuse happens only at zero,
+///   with the final decrement epoch-deferred (see [`reclaim`](crate::reclaim)
+///   for why that makes the count exact). Reuse happens exactly where the
+///   old code called `free`, so it inherits the same safety argument.
+/// * `seq` detects reuse: every checkout bumps the incarnation counter, and
+///   every *published* pointer to the descriptor (the value installed in
+///   `info` fields) carries `seq` in its alignment tag bits
+///   (`align(128)` ⇒ 7 bits). A freezing CAS whose expected value names a
+///   previous incarnation therefore fails on the tag even though the
+///   address matches — no ABA on `info` fields.
+///
+/// The payload fields are immutable from the first freezing CAS that
+/// publishes the descriptor until `refs` drops to zero.
+///
+/// # Layout
+///
+/// `repr(align(128))` serves two purposes: a descriptor spans exactly two
+/// cache lines with no false sharing against neighbouring allocations on
+/// the hot `state`/`refs` words, and the 128-byte alignment frees the low
+/// 7 pointer bits for the sequence tag.
+#[repr(align(128))]
 pub struct ScxRecord<N> {
     /// [`IN_PROGRESS`], [`COMMITTED`] or [`ABORTED`]. Transitions out of
-    /// `IN_PROGRESS` happen exactly once, via CAS.
+    /// `IN_PROGRESS` happen exactly once per incarnation, via CAS.
     pub(crate) state: AtomicU8,
     /// Set once every record in `V` has been frozen. Read by helpers whose
     /// freezing CAS failed to distinguish "SCX already done" from "must
     /// abort" (paper, Figure 1 of PODC'13).
     pub(crate) all_frozen: AtomicBool,
     /// Reference count for reclamation (not part of the PODC'13 algorithm,
-    /// which assumed a garbage collector).
+    /// which assumed a garbage collector). Zero means "safe to reuse".
     pub(crate) refs: AtomicUsize,
+    /// Incarnation counter, bumped by every pool checkout. The low
+    /// [`SEQ_TAG_BITS`] bits ride along in every published pointer's tag.
+    pub(crate) seq: AtomicUsize,
+    /// Intrusive link for the owning pool's free stack; only touched while
+    /// the descriptor is quiescent (`refs == 0`).
+    pub(crate) free_next: AtomicPtr<ScxRecord<N>>,
+    /// The pool this descriptor was allocated by (and returns to).
+    pub(crate) pool: *const PoolShared<N>,
+    /// The per-SCX arguments, overwritten at each checkout. Plain (non-
+    /// atomic) data: written only between checkout and publication, read
+    /// only between publication and the final reference drop.
+    pub(crate) payload: UnsafeCell<ScxPayload<N>>,
+}
+
+/// Number of low pointer bits available for the sequence tag
+/// (`log2(align_of::<ScxRecord>())`).
+pub const SEQ_TAG_BITS: u32 = 7;
+
+/// The immutable-while-published arguments of one SCX invocation.
+pub(crate) struct ScxPayload<N> {
     /// Number of live entries in `v` / `info_fields`.
-    pub(crate) len: usize,
+    pub len: usize,
     /// The records to freeze, in `V`-sequence order.
-    pub(crate) v: [*const N; MAX_V],
-    /// For each record in `v`, the `info` value observed by the linked LLX —
-    /// the expected value of the freezing CAS.
-    pub(crate) info_fields: [*const ScxRecord<N>; MAX_V],
+    pub v: [*const N; MAX_V],
+    /// For each record in `v`, the **tagged** `info` word observed by the
+    /// linked LLX — the expected value of the freezing CAS. Keeping the tag
+    /// is what arms the sequence check: a stale expectation from a previous
+    /// incarnation of some descriptor CASes against the wrong tag and fails.
+    pub info_fields: [usize; MAX_V],
     /// Bitmask over `v` selecting `R`, the records to finalize.
-    pub(crate) finalize_mask: u8,
+    pub finalize_mask: u8,
     /// The record containing the field to modify (must be in `v`).
-    pub(crate) fld_node: *const N,
+    pub fld_node: *const N,
     /// Which child of `fld_node` to modify.
-    pub(crate) fld_idx: usize,
+    pub fld_idx: usize,
     /// Expected value of the field (read by the linked LLX on `fld_node`).
-    pub(crate) old: *const N,
+    pub old: *const N,
     /// New value to store.
-    pub(crate) new: *const N,
+    pub new: *const N,
 }
 
 // SAFETY: the raw pointers are owned by the epoch-managed heap; descriptors
 // are shared across threads only via `Atomic` info fields and all access to
-// pointees is mediated by epoch guards. Mutable state is atomic.
+// pointees is mediated by epoch guards. Mutable state is atomic, except the
+// `payload` UnsafeCell, whose writes (at pool checkout, while `refs == 0`
+// and unpublished) never overlap reads (only possible between publication
+// and the final, epoch-deferred reference drop) — see the reuse argument on
+// [`ScxRecord`] and the timing argument in [`reclaim`](crate::reclaim).
 unsafe impl<N: Record> Send for ScxRecord<N> {}
 unsafe impl<N: Record> Sync for ScxRecord<N> {}
 
 impl<N: Record> ScxRecord<N> {
+    /// A quiescent descriptor bound to `pool`, ready for its first checkout.
+    pub(crate) fn new_in_pool(pool: *const PoolShared<N>) -> Self {
+        ScxRecord {
+            // A pooled-but-never-used descriptor must look terminal, not
+            // IN_PROGRESS, in case its address leaks through debug tooling.
+            state: AtomicU8::new(ABORTED),
+            all_frozen: AtomicBool::new(false),
+            refs: AtomicUsize::new(0),
+            seq: AtomicUsize::new(0),
+            free_next: AtomicPtr::new(std::ptr::null_mut()),
+            pool,
+            payload: UnsafeCell::new(ScxPayload {
+                len: 0,
+                v: [std::ptr::null(); MAX_V],
+                info_fields: [0; MAX_V],
+                finalize_mask: 0,
+                fld_node: std::ptr::null(),
+                fld_idx: 0,
+                old: std::ptr::null(),
+                new: std::ptr::null(),
+            }),
+        }
+    }
+
+    /// Shared read access to the payload.
+    ///
+    /// # Safety
+    /// The descriptor must be published (observed via an `info` field or
+    /// created by the calling thread) and protected by the caller's guard /
+    /// reference, so no checkout can be overwriting the payload.
+    pub(crate) unsafe fn payload(&self) -> &ScxPayload<N> {
+        &*self.payload.get()
+    }
+
     /// Current state. `Relaxed` would be unsound for the protocol; helpers
     /// rely on seeing `all_frozen`/field writes ordered before `COMMITTED`.
     pub(crate) fn load_state(&self) -> u8 {
@@ -78,16 +161,23 @@ impl<N: Record> ScxRecord<N> {
     pub fn committed(&self) -> bool {
         self.load_state() == COMMITTED
     }
+
+    /// The current incarnation number (for testing / introspection).
+    pub fn incarnation(&self) -> usize {
+        self.seq.load(Ordering::Relaxed)
+    }
 }
 
 /// State presented by a (possibly null) `info` pointer: a record that was
 /// never frozen behaves as if its last SCX aborted.
+#[inline]
 pub(crate) fn state_of<N: Record>(info: Shared<'_, ScxRecord<N>>) -> u8 {
     if info.is_null() {
         ABORTED
     } else {
         // SAFETY: non-null info pointers are valid while the caller's guard
-        // is pinned (descriptor frees are epoch-deferred).
+        // is pinned (descriptor reuse/frees wait for an epoch-deferred
+        // reference drop).
         unsafe { info.deref() }.load_state()
     }
 }

@@ -62,11 +62,15 @@
 #![warn(missing_docs)]
 
 pub mod descriptor;
+pub mod guard_cache;
 pub mod ops;
+pub mod pool;
 pub mod reclaim;
 pub mod record;
+pub mod slab;
 
 pub use descriptor::ScxRecord;
+pub use guard_cache::with_guard;
 pub use ops::{llx, scx, vlx, Llx, LlxHandle, ScxArgs};
 pub use record::{Record, RecordHeader, MAX_ARITY, MAX_V};
 

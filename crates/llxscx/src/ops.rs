@@ -1,11 +1,12 @@
 //! The LLX, SCX and VLX operations.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{Guard, Owned, Shared};
+use crossbeam_epoch::{Guard, Pointer, Shared};
 
-use crate::descriptor::{state_of, ScxRecord, ABORTED, COMMITTED, IN_PROGRESS};
-use crate::reclaim::{dec_refs, defer_dec_refs, defer_dispose_record, inc_refs};
+use crate::descriptor::{state_of, ScxPayload, ScxRecord, ABORTED, COMMITTED, IN_PROGRESS};
+use crate::pool;
+use crate::reclaim::{defer_dec_refs, defer_dispose_record, inc_refs};
 use crate::record::{load_info, quiescent, Record, MAX_ARITY, MAX_V};
 
 /// Result of an [`llx`].
@@ -168,58 +169,69 @@ pub fn scx<'g, N: Record>(args: &ScxArgs<'_, 'g, N>, guard: &'g Guard) -> bool {
     );
 
     let mut v = [std::ptr::null::<N>(); MAX_V];
-    let mut info_fields = [std::ptr::null::<ScxRecord<N>>(); MAX_V];
+    // Expected `info` words *including their sequence tags*: a stale
+    // expectation naming a reused descriptor carries the old incarnation's
+    // tag and can never win a freezing CAS against the new one.
+    let mut info_fields = [0usize; MAX_V];
     for (i, h) in args.v.iter().enumerate() {
         v[i] = h.node.as_raw();
-        info_fields[i] = h.info.as_raw();
+        info_fields[i] = h.info.into_usize();
         debug_assert!(!v[i].is_null(), "V contains a null record");
     }
     let old = args.v[args.fld_record].children[args.fld_idx];
 
-    let desc = Owned::new(ScxRecord {
-        state: AtomicU8::new(IN_PROGRESS),
-        all_frozen: AtomicBool::new(false),
-        refs: AtomicUsize::new(0),
-        len,
-        v,
-        info_fields,
-        finalize_mask: args.finalize,
-        fld_node: v[args.fld_record],
-        fld_idx: args.fld_idx,
-        old: old.as_raw(),
-        new: args.new.as_raw(),
-    });
+    // Check a descriptor out of the calling thread's pool instead of
+    // allocating (the dominant update-path cost once the protocol is
+    // cheap). We own it exclusively until the first freezing CAS: refs is
+    // zero and the new incarnation has never been published.
+    let desc_ptr = pool::acquire::<N>();
+    // SAFETY: exclusive access (see above); payload writes cannot race.
+    let desc_s: Shared<'g, ScxRecord<N>> = unsafe {
+        let d = &*desc_ptr;
+        debug_assert_eq!(d.refs.load(Ordering::Relaxed), 0, "reused live descriptor");
+        // Relaxed suffices: the freezing CAS that publishes the descriptor
+        // is SeqCst, so helpers that discover it observe these writes.
+        d.state.store(IN_PROGRESS, Ordering::Relaxed);
+        d.all_frozen.store(false, Ordering::Relaxed);
+        *d.payload.get() = ScxPayload {
+            len,
+            v,
+            info_fields,
+            finalize_mask: args.finalize,
+            fld_node: v[args.fld_record],
+            fld_idx: args.fld_idx,
+            old: old.as_raw(),
+            new: args.new.as_raw(),
+        };
+        // Publish under the current incarnation's tag (`with_tag` keeps the
+        // low bits the 128-byte alignment frees up).
+        Shared::from(desc_ptr as *const ScxRecord<N>).with_tag(d.seq.load(Ordering::Relaxed))
+    };
 
-    // Keep the expected descriptors alive while this one is: a stale helper
-    // CASes info fields against these pointers, so they must not be recycled
-    // (see reclaim module docs). Increment under the same pin as the LLXs
-    // that observed them.
-    for f in info_fields.iter().take(len) {
-        if !f.is_null() {
-            // SAFETY: observed installed under `guard` by the linked LLX.
-            unsafe { inc_refs(*f) };
-        }
-    }
+    // Note what is *not* here: the expected descriptors in `info_fields`
+    // are NOT kept alive by a reference count. The pre-reuse design pinned
+    // every expected descriptor for as long as this one lived, which chains
+    // descriptors together (A is named by B, B by C, ...) and in steady
+    // state leaks one descriptor per committed SCX — the head of the chain
+    // always has a live install, so the chain never collapses. With pooling
+    // the expectation is protected differently: a freezing CAS compares the
+    // whole tagged word, and reusing a descriptor bumps its incarnation
+    // tag, so a stale expectation fails on the tag instead of relying on
+    // the expected descriptor still being allocated (see `reclaim` docs).
 
-    let desc = desc.into_shared(guard);
-    // SAFETY: desc freshly allocated, protected by `guard`.
-    let ok = unsafe { help(desc, guard) };
+    // SAFETY: desc published by this thread, protected by `guard`.
+    let ok = unsafe { help(desc_s, guard) };
     if !ok {
         // If the descriptor was never installed anywhere, no other thread
         // ever saw it (helpers only discover descriptors via info fields),
-        // so the initiator may release it directly.
+        // so the initiator may return it to the pool directly.
         // SAFETY: refs counts installs; during our pin any install's
         // deferred decrement cannot yet have run, so refs == 0 certifies
         // "never installed".
         unsafe {
-            let d = desc.deref();
+            let d = &*desc_ptr;
             if d.refs.load(Ordering::SeqCst) == 0 {
-                for f in info_fields.iter().take(len) {
-                    if !f.is_null() {
-                        dec_refs(*f);
-                    }
-                }
-                drop(desc.into_owned());
+                pool::release(desc_ptr);
             }
         }
     }
@@ -251,12 +263,17 @@ pub fn vlx<'g, N: Record>(handles: &[LlxHandle<'g, N>], guard: &'g Guard) -> boo
 /// `desc` must be non-null and protected by `guard`.
 pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &Guard) -> bool {
     let desc = desc_s.deref();
+    // SAFETY: the payload is immutable while the descriptor is reachable
+    // (checkout requires refs == 0, which cannot hold while we help).
+    let p = desc.payload();
 
     // Freezing phase: install `desc` into each V-record's info field, in
-    // order, expecting the value its linked LLX observed.
-    for i in 0..desc.len {
-        let node = &*desc.v[i];
-        let expect: Shared<'_, ScxRecord<N>> = Shared::from(desc.info_fields[i] as *const _);
+    // order, expecting the value its linked LLX observed. Both the expected
+    // and the installed word carry incarnation tags, so expectations from a
+    // descriptor's previous life fail here (the sequence-number check).
+    for i in 0..p.len {
+        let node = &*p.v[i];
+        let expect: Shared<'_, ScxRecord<N>> = Shared::from_usize(p.info_fields[i]);
         match node.header().info.compare_exchange(
             expect,
             desc_s,
@@ -299,17 +316,17 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
 
     desc.all_frozen.store(true, Ordering::SeqCst);
     // Mark (finalize) every record in R. Idempotent across helpers.
-    for i in 0..desc.len {
-        if desc.finalize_mask & (1 << i) != 0 {
-            (*desc.v[i]).header().marked.store(true, Ordering::SeqCst);
+    for i in 0..p.len {
+        if p.finalize_mask & (1 << i) != 0 {
+            (*p.v[i]).header().marked.store(true, Ordering::SeqCst);
         }
     }
     // The update CAS. Only the first helper's CAS succeeds: `old` was a
     // fresh allocation when installed and is never re-stored (constraint 1).
-    let parent = &*desc.fld_node;
-    let _ = parent.child(desc.fld_idx).compare_exchange(
-        Shared::from(desc.old as *const _),
-        Shared::from(desc.new as *const _),
+    let parent = &*p.fld_node;
+    let _ = parent.child(p.fld_idx).compare_exchange(
+        Shared::from(p.old as *const _),
+        Shared::from(p.new as *const _),
         Ordering::SeqCst,
         Ordering::SeqCst,
         guard,
@@ -323,9 +340,9 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
         .compare_exchange(IN_PROGRESS, COMMITTED, Ordering::SeqCst, Ordering::SeqCst)
         .is_ok()
     {
-        for i in 0..desc.len {
-            if desc.finalize_mask & (1 << i) != 0 {
-                defer_dispose_record(desc.v[i], guard);
+        for i in 0..p.len {
+            if p.finalize_mask & (1 << i) != 0 {
+                defer_dispose_record(p.v[i], guard);
             }
         }
     }
@@ -336,7 +353,7 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
 mod tests {
     use super::*;
     use crate::record::RecordHeader;
-    use crossbeam_epoch::{pin, Atomic};
+    use crossbeam_epoch::{pin, Atomic, Owned};
 
     struct TestNode {
         header: RecordHeader<TestNode>,
@@ -477,6 +494,151 @@ mod tests {
         unsafe {
             crate::reclaim::dispose_record(n1.as_raw());
             crate::reclaim::dispose_record(root.as_raw());
+        }
+    }
+
+    /// The sequence-number check: an expectation that names the right
+    /// descriptor *address* but the wrong *incarnation tag* must never win
+    /// a freezing CAS. This is what makes descriptor reuse ABA-safe — a
+    /// stale helper from a descriptor's previous life compares the whole
+    /// tagged word, so address recycling alone cannot fool it.
+    #[test]
+    fn stale_incarnation_tag_cannot_freeze() {
+        let guard = &pin();
+        let root = TestNode::new(0).into_shared(guard);
+
+        // Install a genuine descriptor on root so its info is non-null.
+        let h0 = llx(root, guard).unwrap();
+        let n1 = TestNode::new(1).into_shared(guard);
+        assert!(scx(
+            &ScxArgs {
+                v: &[h0],
+                finalize: 0,
+                fld_record: 0,
+                fld_idx: 0,
+                new: n1
+            },
+            guard
+        ));
+
+        let genuine = llx(root, guard).unwrap();
+        assert!(!genuine.info.is_null(), "root must carry a descriptor");
+
+        // A handle identical to `genuine` except for the incarnation tag —
+        // exactly what a helper holds after the expected descriptor was
+        // returned to the pool and checked out again (seq bumped).
+        // SAFETY: same allocation as `genuine.info`, only the tag differs.
+        let stale = LlxHandle {
+            info: unsafe { Shared::from_usize(genuine.info.into_usize() ^ 0x1) },
+            ..genuine
+        };
+        assert_eq!(
+            stale.info.as_raw(),
+            genuine.info.as_raw(),
+            "same allocation address"
+        );
+        let n2 = TestNode::new(2).into_shared(guard);
+        assert!(
+            !scx(
+                &ScxArgs {
+                    v: &[stale],
+                    finalize: 0,
+                    fld_record: 0,
+                    fld_idx: 0,
+                    new: n2
+                },
+                guard
+            ),
+            "stale incarnation froze the record (ABA on info)"
+        );
+        // The record is untouched and the genuine handle still works.
+        let now = unsafe { root.deref() }.children[0].load(Ordering::SeqCst, guard);
+        assert_eq!(now, n1);
+        let n3 = TestNode::new(3).into_shared(guard);
+        assert!(scx(
+            &ScxArgs {
+                v: &[genuine],
+                finalize: 0,
+                fld_record: 0,
+                fld_idx: 0,
+                new: n3
+            },
+            guard
+        ));
+        unsafe {
+            crate::reclaim::dispose_record(n3.as_raw());
+            crate::reclaim::dispose_record(n2.as_raw());
+            crate::reclaim::dispose_record(n1.as_raw());
+            crate::reclaim::dispose_record(root.as_raw());
+        }
+    }
+
+    /// End-to-end reuse: cycling SCXs through one thread must recycle
+    /// descriptor allocations through the pool (the update path allocates
+    /// nothing in steady state), observable as a repeated descriptor
+    /// address with increasing incarnation numbers.
+    #[test]
+    fn committed_scxs_recycle_descriptors() {
+        use std::collections::HashMap;
+        let root_addr = {
+            let guard = &pin();
+            TestNode::new(0).into_shared(guard).as_raw() as usize
+        };
+        // addr -> incarnations seen installed on root.
+        let mut seen: HashMap<usize, Vec<usize>> = HashMap::new();
+        for round in 0..600u64 {
+            {
+                let guard = &pin();
+                let root = Shared::from(root_addr as *const TestNode);
+                let h = llx(root, guard).unwrap();
+                let fresh = TestNode::new(round).into_shared(guard);
+                let old = h.right();
+                assert!(scx(
+                    &ScxArgs {
+                        v: &[h],
+                        finalize: 0,
+                        fld_record: 0,
+                        fld_idx: 1,
+                        new: fresh
+                    },
+                    guard
+                ));
+                if !old.is_null() {
+                    // Replaced value: retire it ourselves (not in R).
+                    unsafe { crate::reclaim::defer_dispose_record(old.as_raw(), guard) };
+                }
+                let cur = unsafe { root.deref() }
+                    .header()
+                    .info
+                    .load(Ordering::SeqCst, guard);
+                seen.entry(cur.as_raw() as usize)
+                    .or_default()
+                    .push(unsafe { cur.deref() }.incarnation());
+            }
+            // Let deferred reference drops run so descriptors return to
+            // the pool.
+            crossbeam_epoch::flush_and_collect();
+        }
+        let reused = seen.values().filter(|v| v.len() > 1).count();
+        assert!(
+            reused > 0,
+            "no descriptor allocation was ever reused across {} rounds",
+            seen.len()
+        );
+        for incarnations in seen.values() {
+            assert!(
+                incarnations.windows(2).all(|w| w[0] < w[1]),
+                "incarnation numbers must strictly advance per allocation: {incarnations:?}"
+            );
+        }
+        unsafe {
+            let guard = crossbeam_epoch::unprotected();
+            let root = Shared::from(root_addr as *const TestNode);
+            let last = root.deref().children[1].load(Ordering::SeqCst, guard);
+            if !last.is_null() {
+                crate::reclaim::dispose_record(last.as_raw());
+            }
+            crate::reclaim::dispose_record(root_addr as *const TestNode);
         }
     }
 }

@@ -8,22 +8,13 @@
 //!    every thread pinned at unlink time has unpinned, so concurrent
 //!    traversals through removed nodes (correctness property C3 of the
 //!    paper) remain safe.
-//! 2. **Reference counting of SCX-records** for *whether* a descriptor is
-//!    still reachable: unlike tree nodes, a descriptor is reachable from up
-//!    to `|V|` records' `info` fields *and* from later descriptors'
-//!    `info_fields` (helpers CAS against those expected values, so an
-//!    expected descriptor must stay allocated while any descriptor naming it
-//!    is alive — otherwise a recycled allocation could alias the expected
-//!    pointer and a stale freezing CAS could succeed spuriously).
-//!
-//! `refs(d)` counts:
-//! * records whose `info` currently points at `d` (incremented by the
-//!   helper whose freezing CAS installed `d`; decremented — epoch-deferred —
-//!   when a later freezing CAS replaces `d`, or when the record itself is
-//!   disposed);
-//! * live descriptors listing `d` in their `info_fields` (incremented at
-//!   descriptor creation, under the same guard pin as the LLX that observed
-//!   `d`; decremented when that descriptor is freed).
+//! 2. **Install counting of SCX-records** for *whether* a descriptor is
+//!    still reachable: `refs(d)` counts exactly the records whose `info`
+//!    field currently points at `d`. It is incremented by the helper whose
+//!    freezing CAS installed `d` and decremented — epoch-deferred — when a
+//!    later freezing CAS replaces `d`, or when the record itself is
+//!    disposed. At zero the descriptor returns to its owner's
+//!    [`pool`](crate::pool).
 //!
 //! **Why deferred decrements make the count exact.** An increment always
 //! happens under a guard pinned when `d` was *observed* installed on some
@@ -31,9 +22,35 @@
 //! observation window) is scheduled through the epoch machinery, so it
 //! executes only after every such pin has ended — i.e. after every pending
 //! increment has landed. Hence when a decrement brings `refs` to zero, no
-//! thread can hold or mint a reference to `d`, and it can be freed on the
-//! spot, cascading into the `info_fields` it referenced (iteratively, to
-//! bound stack depth).
+//! pinned thread can still be using a pointer to `d` that it loaded from an
+//! `info` field, and the descriptor can be reclaimed on the spot.
+//!
+//! **Why expected values need no keep-alive references.** A live descriptor
+//! `B` names, in its `info_fields`, the descriptors its linked LLXs
+//! observed — helpers CAS records' `info` against those words long after
+//! the LLXs. The pre-reuse design kept every named descriptor allocated by
+//! counting those mentions into `refs`, which chains descriptors (`A`
+//! named by `B`, `B` by `C`, ...): the head of the chain always has a live
+//! install, so nothing in the chain was ever reclaimed — a leak of one
+//! descriptor per committed SCX, and a pool that never received anything
+//! back. Pooling replaces the keep-alive with the **incarnation tag**:
+//! every published `info` word carries the descriptor's sequence number in
+//! its 7 alignment bits, and a checkout bumps the sequence, so a helper's
+//! stale expectation from `A`'s previous life mismatches on the tag and
+//! the freezing CAS correctly fails. The compare itself touches no memory
+//! behind the expected pointer, so it is safe even if `A` was reused. The
+//! residual risk is the classic bounded-tag ABA: a spurious match needs the
+//! same record to hold the *same allocation* at a *tag-equal incarnation*
+//! (128 checkouts later) while `B` is still in progress — and an
+//! overflow-freed allocation to be handed back by the allocator at the
+//! same address in that window. This is the trade Brown's "Reuse, don't
+//! Recycle" line of work makes explicit; widen
+//! [`SEQ_TAG_BITS`](crate::descriptor::SEQ_TAG_BITS) via the descriptor
+//! alignment if a deployment needs more headroom.
+//!
+//! **Reclaim = reuse.** Reaching `refs == 0` used to free the descriptor;
+//! it now returns it to the owning thread's [`pool`](crate::pool) for
+//! reuse by a later SCX, and only pool overflow actually frees memory.
 
 use crossbeam_epoch::Guard;
 
@@ -46,33 +63,35 @@ use crate::record::Record;
 /// `d` must point to a live descriptor, and the caller must hold a guard
 /// pinned since `d` was observed installed in some record's `info` field.
 pub(crate) unsafe fn inc_refs<N: Record>(d: *const ScxRecord<N>) {
-    let prev = (*d).refs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    // Relaxed suffices for increments (the classic `Arc::clone` argument):
+    // a new reference is always minted from an existing one, so the count
+    // cannot be observed at zero while an increment is pending, and no
+    // other memory is published by taking a reference.
+    let prev = (*d).refs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     debug_assert!(prev < usize::MAX / 2, "descriptor refcount overflow");
 }
 
-/// Performs one decrement of `start`'s reference count, freeing it (and
-/// cascading into the descriptors it references) if the count reaches zero.
+/// Performs one decrement of `start`'s reference count, returning it to its
+/// owner's pool if the count reaches zero.
 ///
 /// # Safety
 /// Must be called at most once per previous increment, and only at a time
 /// when the reference being released can no longer be used to reach the
 /// descriptor (in this crate: from inside an epoch-deferred closure, or for
 /// a descriptor that was never published).
-pub(crate) unsafe fn dec_refs<N: Record>(start: *const ScxRecord<N>) {
-    let mut pending: Vec<*const ScxRecord<N>> = vec![start];
-    while let Some(d) = pending.pop() {
-        let prev = (*d).refs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
-        debug_assert!(prev > 0, "descriptor refcount underflow");
-        if prev == 1 {
-            let desc = Box::from_raw(d as *mut ScxRecord<N>);
-            for i in 0..desc.len {
-                let f = desc.info_fields[i];
-                if !f.is_null() {
-                    pending.push(f);
-                }
-            }
-            drop(desc);
-        }
+pub(crate) unsafe fn dec_refs<N: Record>(d: *const ScxRecord<N>) {
+    // Release on the way down (the classic `Arc::drop` argument): our
+    // prior uses of the descriptor must not be reordered after the
+    // decrement that may hand it to a reuser.
+    let prev = (*d).refs.fetch_sub(1, std::sync::atomic::Ordering::Release);
+    debug_assert!(prev > 0, "descriptor refcount underflow");
+    if prev == 1 {
+        // Acquire pairs with every other holder's Release decrement:
+        // all their uses happen-before the reuse/free below.
+        std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
+        // The refcount-based free path is now a return-to-pool path;
+        // only pool overflow actually frees memory.
+        crate::pool::release(d as *mut ScxRecord<N>);
     }
 }
 
@@ -103,7 +122,13 @@ pub unsafe fn dispose_record<N: Record>(ptr: *const N) {
     if !info.is_null() {
         dec_refs(info.as_raw());
     }
-    drop(Box::from_raw(ptr as *mut N));
+    // Release the slot through the thread-local record cache
+    // ([`slab`](crate::slab)): record allocate/free pairs dominate the
+    // update path, and cache-aligned records make the allocator's aligned
+    // path expensive. Box-allocated records are interchangeable with slab
+    // slots (same allocator, same layout).
+    std::ptr::drop_in_place(ptr as *mut N);
+    crate::slab::free_slot(ptr as *mut u8, std::alloc::Layout::new::<N>());
 }
 
 /// Schedules an epoch-deferred [`dispose_record`].

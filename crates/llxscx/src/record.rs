@@ -65,7 +65,12 @@ impl<N> Default for RecordHeader<N> {
 ///
 /// `child(i)` must return the same `&Atomic` for the same `i` for the
 /// lifetime of the record, and `header()` must return the embedded header.
-pub trait Record: Sized + Send + Sync {
+///
+/// The `'static` bound exists because each SCX checks its descriptor out of
+/// a per-thread, per-record-type pool keyed by `TypeId` (see
+/// [`pool`](crate::pool)); records own their keys/values anyway, so the
+/// bound costs implementors nothing in practice.
+pub trait Record: Sized + Send + Sync + 'static {
     /// Number of mutable child-pointer fields (at most [`MAX_ARITY`]).
     const ARITY: usize;
 
@@ -81,6 +86,7 @@ pub trait Record: Sized + Send + Sync {
 ///
 /// Returns `(info, state)`; a null `info` is treated as `ABORTED`
 /// (quiescent), matching the paper's convention for never-frozen nodes.
+#[inline]
 pub(crate) fn load_info<'g, N: Record>(
     node: &N,
     guard: &'g Guard,
@@ -91,6 +97,7 @@ pub(crate) fn load_info<'g, N: Record>(
 
 /// Whether `state` permits reading a consistent snapshot (the record is not
 /// currently frozen by an in-progress SCX).
+#[inline]
 pub(crate) fn quiescent(state: u8, marked: bool) -> bool {
     state == ABORTED || (state == COMMITTED && !marked)
 }

@@ -27,13 +27,13 @@ use std::sync::atomic::Ordering;
 /// Same sentinel layout as the chromatic tree (paper Fig. 10), same
 /// leaf-oriented updates (Insert1/Insert2/Delete of Fig. 11), but no
 /// weights are maintained and no rebalancing is performed.
-pub struct NbBst<K: Send + Sync, V: Send + Sync> {
+pub struct NbBst<K: Send + Sync + 'static, V: Send + Sync + 'static> {
     entry: Atomic<Node<K, V>>,
 }
 
 // SAFETY: all shared mutable state behind atomics/epoch guards.
-unsafe impl<K: Send + Sync, V: Send + Sync> Send for NbBst<K, V> {}
-unsafe impl<K: Send + Sync, V: Send + Sync> Sync for NbBst<K, V> {}
+unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for NbBst<K, V> {}
+unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for NbBst<K, V> {}
 
 impl<K, V> NbBst<K, V>
 where
@@ -258,7 +258,7 @@ where
 
     /// Sorted snapshot of the contents.
     pub fn collect(&self) -> Vec<(K, V)> {
-        fn rec<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync>(
+        fn rec<K: Ord + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'static>(
             n: Shared<'_, Node<K, V>>,
             out: &mut Vec<(K, V)>,
             guard: &Guard,
@@ -293,7 +293,7 @@ where
     }
 }
 
-impl<K: Send + Sync, V: Send + Sync> Drop for NbBst<K, V> {
+impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Drop for NbBst<K, V> {
     fn drop(&mut self) {
         let guard = unsafe { llxscx::epoch::unprotected() };
         let mut stack = vec![self.entry.load(Ordering::SeqCst, guard)];

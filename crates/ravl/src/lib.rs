@@ -28,19 +28,19 @@ type H<'g, K, V> = LlxHandle<'g, Node<K, V>>;
 /// A lock-free ordered map: leaf-oriented BST with relaxed AVL-style
 /// rebalancing. The node type is shared with the chromatic tree; its
 /// `weight` field stores the *rank* here.
-pub struct RelaxedAvl<K: Send + Sync, V: Send + Sync> {
+pub struct RelaxedAvl<K: Send + Sync + 'static, V: Send + Sync + 'static> {
     entry: Atomic<Node<K, V>>,
 }
 
-unsafe impl<K: Send + Sync, V: Send + Sync> Send for RelaxedAvl<K, V> {}
-unsafe impl<K: Send + Sync, V: Send + Sync> Sync for RelaxedAvl<K, V> {}
+unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for RelaxedAvl<K, V> {}
+unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for RelaxedAvl<K, V> {}
 
 /// Repair passes per update: enough to fix the whole path in quiescence
 /// (ranks only need one pass per level), bounded so no interleaving can
 /// capture an updater indefinitely.
 const MAX_REPAIR_PASSES: usize = 64;
 
-fn rank<K: Send + Sync, V: Send + Sync>(n: Shared<'_, Node<K, V>>) -> u32 {
+fn rank<K: Send + Sync + 'static, V: Send + Sync + 'static>(n: Shared<'_, Node<K, V>>) -> u32 {
     if n.is_null() {
         0
     } else {
@@ -416,7 +416,7 @@ where
 
     /// Sorted snapshot of the contents.
     pub fn collect(&self) -> Vec<(K, V)> {
-        fn rec<K: Clone + Send + Sync, V: Clone + Send + Sync>(
+        fn rec<K: Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'static>(
             x: Shared<'_, Node<K, V>>,
             out: &mut Vec<(K, V)>,
             guard: &Guard,
@@ -442,7 +442,10 @@ where
 
     /// Longest root-to-leaf path (diagnostics).
     pub fn height(&self) -> usize {
-        fn rec<K: Send + Sync, V: Send + Sync>(x: Shared<'_, Node<K, V>>, guard: &Guard) -> usize {
+        fn rec<K: Send + Sync + 'static, V: Send + Sync + 'static>(
+            x: Shared<'_, Node<K, V>>,
+            guard: &Guard,
+        ) -> usize {
             if x.is_null() {
                 return 0;
             }
@@ -457,7 +460,7 @@ where
     }
 }
 
-fn llx_ok<'g, K: Send + Sync, V: Send + Sync>(
+fn llx_ok<'g, K: Send + Sync + 'static, V: Send + Sync + 'static>(
     n: Shared<'g, Node<K, V>>,
     guard: &'g Guard,
 ) -> Option<H<'g, K, V>> {
@@ -467,7 +470,7 @@ fn llx_ok<'g, K: Send + Sync, V: Send + Sync>(
     }
 }
 
-fn mk<'g, K: Ord + Clone + Send + Sync, V: Clone + Send + Sync>(
+fn mk<'g, K: Ord + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'static>(
     key: Option<&K>,
     rank: u32,
     heavy: usize,
@@ -493,7 +496,7 @@ where
     }
 }
 
-impl<K: Send + Sync, V: Send + Sync> Drop for RelaxedAvl<K, V> {
+impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Drop for RelaxedAvl<K, V> {
     fn drop(&mut self) {
         let guard = unsafe { llxscx::epoch::unprotected() };
         let mut stack = vec![self.entry.load(Ordering::SeqCst, guard)];

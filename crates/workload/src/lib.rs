@@ -45,8 +45,21 @@ impl Mix {
     ];
 
     /// `xi-yd` label as used in the paper.
-    pub fn label(&self) -> String {
-        format!("{}i-{}d", self.inserts, self.deletes)
+    ///
+    /// Allocation-free: formats into a fixed inline buffer. The previous
+    /// `String`-returning version was called from measurement loops and put
+    /// a heap allocation inside the timed region.
+    pub fn label(&self) -> MixLabel {
+        let mut out = MixLabel {
+            buf: [0; MIX_LABEL_CAP],
+            len: 0,
+        };
+        out.push_u32(self.inserts);
+        out.push_byte(b'i');
+        out.push_byte(b'-');
+        out.push_u32(self.deletes);
+        out.push_byte(b'd');
+        out
     }
 
     /// Expected steady-state size as a fraction of the key range (§6):
@@ -58,6 +71,60 @@ impl Mix {
         } else {
             self.inserts as f64 / (self.inserts + self.deletes) as f64
         }
+    }
+}
+
+/// Capacity of [`MixLabel`]'s inline buffer (`"100i-100d"` is 9 bytes).
+const MIX_LABEL_CAP: usize = 12;
+
+/// A stack-allocated `xi-yd` mix label; dereferences to `str`.
+#[derive(Clone, Copy)]
+pub struct MixLabel {
+    buf: [u8; MIX_LABEL_CAP],
+    len: usize,
+}
+
+impl MixLabel {
+    fn push_byte(&mut self, b: u8) {
+        self.buf[self.len] = b;
+        self.len += 1;
+    }
+
+    fn push_u32(&mut self, mut n: u32) {
+        let start = self.len;
+        loop {
+            self.push_byte(b'0' + (n % 10) as u8);
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        self.buf[start..self.len].reverse();
+    }
+
+    /// The label as a string slice.
+    pub fn as_str(&self) -> &str {
+        // The buffer only ever holds ASCII digits and `i`/`-`/`d`.
+        std::str::from_utf8(&self.buf[..self.len]).expect("mix label is ASCII")
+    }
+}
+
+impl std::ops::Deref for MixLabel {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Display for MixLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for MixLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
     }
 }
 
@@ -75,6 +142,10 @@ pub fn prefill(map: &dyn ConcurrentMap, range: u64, mix: Mix, seed: u64) {
             inserted += 1;
         }
     }
+    // Announce quiescence (DEBRA-style): the prefilling thread goes idle
+    // next (it sleeps through the trial), and a warm cached epoch guard
+    // would stall reclamation for every worker until it woke up.
+    llxscx::guard_cache::flush();
 }
 
 /// Result of one timed trial.
@@ -105,14 +176,20 @@ pub fn run_trial(
 ) -> TrialResult {
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
-    let started = Instant::now();
+    // Keep thread spawning and per-thread RNG construction out of the timed
+    // region: every worker sets up, then all parties meet at the barrier and
+    // the clock starts there.
+    let start_gate = std::sync::Barrier::new(threads + 1);
+    let mut started = Instant::now();
     std::thread::scope(|s| {
         for tid in 0..threads {
             let stop = &stop;
             let total = &total;
+            let start_gate = &start_gate;
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ ((tid as u64) << 32) | tid as u64);
                 let mut ops = 0u64;
+                start_gate.wait();
                 while !stop.load(Ordering::Relaxed) {
                     // Batch the stop check to keep the loop tight.
                     for _ in 0..64 {
@@ -131,6 +208,8 @@ pub fn run_trial(
                 total.fetch_add(ops, Ordering::Relaxed);
             });
         }
+        start_gate.wait();
+        started = Instant::now();
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
     });

@@ -24,10 +24,22 @@
 //!
 //! Atomics carry pointer *tags* in the alignment bits, exactly like the
 //! real crate ([`Shared::tag`] / [`Shared::with_tag`]).
+//!
+//! Two fast paths keep the hot layers cheap:
+//!
+//! * **Nested pins** only touch a thread-local depth counter — no atomics.
+//!   Amortized-pinning layers (e.g. `llxscx::guard_cache`) exploit this by
+//!   holding one outer guard per thread so that per-operation pins become
+//!   re-entries.
+//! * **Deferred functions are batched thread-locally** (`DEFER_BATCH`
+//!   entries) and appended to the global queue under a single lock
+//!   acquisition, instead of locking per retirement. The batch is flushed
+//!   on collection, on the periodic unpin-triggered pass, via
+//!   [`flush_and_collect`], and by the thread-exit destructor.
 
 #![warn(missing_docs)]
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
@@ -39,6 +51,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 const UNPINNED: usize = usize::MAX;
 /// Run a garbage collection pass every this many unpins.
 const COLLECT_INTERVAL: usize = 64;
+/// Deferred functions are buffered thread-locally and pushed to the global
+/// queue in batches of this size, so the hot path does not take the global
+/// garbage lock on every retire.
+const DEFER_BATCH: usize = 32;
 
 struct Participant {
     /// The epoch this thread is pinned at, or [`UNPINNED`].
@@ -55,6 +71,12 @@ struct Global {
     epoch: AtomicUsize,
     participants: Mutex<Vec<Arc<Participant>>>,
     garbage: Mutex<Vec<(usize, Deferred)>>,
+    /// Lower bound on the retire epoch of everything in `garbage`
+    /// (`usize::MAX` when empty). Lets `collect` skip the O(len) retain
+    /// scan when nothing can be ripe — without it, a stalled epoch (e.g. a
+    /// descheduled pinned thread on an oversubscribed host) makes every
+    /// collection pass rescan an ever-growing queue quadratically.
+    garbage_min_epoch: AtomicUsize,
 }
 
 fn global() -> &'static Global {
@@ -63,6 +85,7 @@ fn global() -> &'static Global {
         epoch: AtomicUsize::new(0),
         participants: Mutex::new(Vec::new()),
         garbage: Mutex::new(Vec::new()),
+        garbage_min_epoch: AtomicUsize::new(usize::MAX),
     })
 }
 
@@ -92,20 +115,34 @@ impl Global {
     fn collect(&self) {
         self.try_advance();
         let cur = self.epoch.load(Ordering::SeqCst);
+        // O(1) ripeness check: when even the oldest queued entry cannot run
+        // yet, skip the scan entirely.
+        if self
+            .garbage_min_epoch
+            .load(Ordering::SeqCst)
+            .saturating_add(2)
+            > cur
+        {
+            return;
+        }
         let ready: Vec<Deferred> = {
             let mut garbage = match self.garbage.try_lock() {
                 Ok(g) => g,
                 Err(_) => return,
             };
             let mut ready = Vec::new();
+            let mut min = usize::MAX;
             garbage.retain_mut(|(e, d)| {
                 if *e + 2 <= cur {
                     ready.push(Deferred(mem::replace(&mut d.0, Box::new(|| ()))));
                     false
                 } else {
+                    min = min.min(*e);
                     true
                 }
             });
+            // Published under the garbage lock, like every other update.
+            self.garbage_min_epoch.store(min, Ordering::SeqCst);
             ready
         };
         for d in ready {
@@ -118,10 +155,32 @@ struct LocalHandle {
     participant: Arc<Participant>,
     pin_depth: Cell<usize>,
     unpin_count: Cell<usize>,
+    /// Locally buffered deferred functions (tagged with their retire
+    /// epoch), flushed to the global queue in batches.
+    deferred: RefCell<Vec<(usize, Deferred)>>,
+}
+
+impl LocalHandle {
+    /// Moves the local deferred batch to the global queue under one lock.
+    fn flush_deferred(&self) {
+        let mut local = self.deferred.borrow_mut();
+        if local.is_empty() {
+            return;
+        }
+        let batch_min = local.iter().map(|(e, _)| *e).min().unwrap_or(usize::MAX);
+        let g = global();
+        let mut garbage = g.garbage.lock().unwrap();
+        garbage.append(&mut local);
+        let cur_min = g.garbage_min_epoch.load(Ordering::SeqCst);
+        g.garbage_min_epoch
+            .store(cur_min.min(batch_min), Ordering::SeqCst);
+    }
 }
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
+        // The thread exits: its buffered retirements must survive it.
+        self.flush_deferred();
         self.participant.epoch.store(UNPINNED, Ordering::SeqCst);
     }
 }
@@ -136,6 +195,7 @@ thread_local! {
             participant,
             pin_depth: Cell::new(0),
             unpin_count: Cell::new(0),
+            deferred: RefCell::new(Vec::new()),
         }
     };
 }
@@ -157,6 +217,7 @@ pub struct Guard {
 ///
 /// Nested pins are cheap: only the outermost pin/unpin touches the global
 /// epoch state.
+#[inline]
 pub fn pin() -> Guard {
     LOCAL.with(|local| {
         let depth = local.pin_depth.get();
@@ -214,7 +275,33 @@ impl Guard {
         }
         let g = global();
         let e = g.epoch.load(Ordering::SeqCst);
-        g.garbage.lock().unwrap().push((e, Deferred(Box::new(f))));
+        // Buffer locally; the global garbage lock is only taken once per
+        // DEFER_BATCH retirements (or at unpin/flush/thread-exit).
+        let mut entry = Some((e, Deferred(Box::new(f))));
+        let buffered = LOCAL.try_with(|local| {
+            // `try_borrow_mut` guards against re-entrant defers from a
+            // deferred closure running inside a flush.
+            if let Ok(mut buf) = local.deferred.try_borrow_mut() {
+                buf.push(entry.take().expect("entry consumed twice"));
+                buf.len()
+            } else {
+                0
+            }
+        });
+        match (buffered, entry) {
+            // Batch full: hand the whole buffer to the global queue.
+            (Ok(n), None) if n >= DEFER_BATCH => {
+                let _ = LOCAL.try_with(|local| local.flush_deferred());
+            }
+            (_, Some(entry)) => {
+                // TLS torn down or buffer busy: push directly.
+                let mut garbage = g.garbage.lock().unwrap();
+                garbage.push(entry);
+                let cur_min = g.garbage_min_epoch.load(Ordering::SeqCst);
+                g.garbage_min_epoch.store(cur_min.min(e), Ordering::SeqCst);
+            }
+            _ => {}
+        }
     }
 
     /// Defers dropping the heap allocation behind `ptr`.
@@ -236,10 +323,19 @@ impl Guard {
     }
 
     /// Runs a collection cycle, executing any deferred functions whose
-    /// epoch gap has passed.
+    /// epoch gap has passed. Flushes the calling thread's deferred batch
+    /// first so its own retirements are eligible.
     pub fn flush(&self) {
-        global().collect();
+        flush_and_collect();
     }
+}
+
+/// Flushes the calling thread's deferred batch to the global queue and
+/// runs a collection cycle. The standalone form of [`Guard::flush`] used
+/// by amortized-pinning layers that collect *between* cached pins.
+pub fn flush_and_collect() {
+    let _ = LOCAL.try_with(|local| local.flush_deferred());
+    global().collect();
 }
 
 impl Drop for Guard {
@@ -247,7 +343,10 @@ impl Drop for Guard {
         if !self.pinned {
             return;
         }
-        LOCAL.with(|local| {
+        // `try_with`: a guard cached in another thread-local may be dropped
+        // after LOCAL's destructor already ran; the participant was then
+        // unpinned (and the batch flushed) by `LocalHandle::drop` itself.
+        let _ = LOCAL.try_with(|local| {
             let depth = local.pin_depth.get() - 1;
             local.pin_depth.set(depth);
             if depth == 0 {
@@ -255,6 +354,7 @@ impl Drop for Guard {
                 let n = local.unpin_count.get() + 1;
                 local.unpin_count.set(n);
                 if n % COLLECT_INTERVAL == 0 {
+                    local.flush_deferred();
                     global().collect();
                 }
             }
