@@ -12,10 +12,7 @@ fn bench_mixes(c: &mut Criterion) {
         group.sample_size(20);
         group.measurement_time(std::time::Duration::from_secs(1));
         group.warm_up_time(std::time::Duration::from_millis(400));
-        let mix = Mix {
-            inserts: 50,
-            deletes: 50,
-        };
+        let mix = Mix::updates(50, 50);
         for name in ALL_MAPS {
             let map = make_map(name).unwrap();
             prefill(map.as_ref(), range, mix, 7);
@@ -37,10 +34,7 @@ fn bench_mixes(c: &mut Criterion) {
         group.sample_size(20);
         group.measurement_time(std::time::Duration::from_secs(1));
         group.warm_up_time(std::time::Duration::from_millis(400));
-        let mix = Mix {
-            inserts: 0,
-            deletes: 0,
-        };
+        let mix = Mix::updates(0, 0);
         for name in ALL_MAPS {
             let map = make_map(name).unwrap();
             prefill(map.as_ref(), range, mix, 7);

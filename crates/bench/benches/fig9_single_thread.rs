@@ -8,10 +8,7 @@ use workload::{make_map, prefill, Mix, ALL_MAPS};
 
 fn bench_overhead(c: &mut Criterion) {
     let range = 100_000u64;
-    let mix = Mix {
-        inserts: 20,
-        deletes: 10,
-    };
+    let mix = Mix::updates(20, 10);
 
     let mut group = c.benchmark_group("fig9/20i-10d");
     group.sample_size(20);

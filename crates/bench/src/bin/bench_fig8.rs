@@ -75,35 +75,8 @@ fn main() {
         ("results", Json::Arr(results)),
     ]);
 
-    // Merge: keep every run whose label differs, replace the matching one.
-    let mut runs: Vec<Json> = match std::fs::read_to_string(&out_path) {
-        Ok(text) => match Json::parse(&text) {
-            Ok(doc) => doc
-                .get("runs")
-                .map(|r| r.items().to_vec())
-                .unwrap_or_default(),
-            Err(e) => {
-                eprintln!("warning: could not parse existing {out_path} ({e}); overwriting");
-                Vec::new()
-            }
-        },
-        Err(_) => Vec::new(),
-    };
-    runs.retain(|r| r.get("label").and_then(Json::as_str) != Some(label.as_str()));
-    runs.push(run);
-
-    let doc = Json::obj(vec![
-        ("schema", Json::Str("bench_fig8/v1".into())),
-        (
-            "host_threads",
-            Json::Num(
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1) as f64,
-            ),
-        ),
-        ("runs", Json::Arr(runs)),
-    ]);
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let doc = bench::json::merge_labeled_run(existing.as_deref(), "bench_fig8/v1", &label, run);
     std::fs::write(&out_path, doc.pretty()).expect("write BENCH_fig8.json");
     eprintln!("wrote {out_path}");
 }

@@ -1,0 +1,92 @@
+//! The CI throughput gate: compares two labeled runs inside one bench
+//! artifact (written by `bench_fig8` / `bench_range`, which label-merge)
+//! and exits non-zero when any *(structure, mix, threads)* point slowed
+//! down by more than the tolerance.
+//!
+//! ```text
+//! cargo run -p bench --bin bench_fig8 -- --label baseline --out gate.json   # at the base ref
+//! cargo run -p bench --bin bench_fig8 -- --label pr       --out gate.json   # at the PR head
+//! cargo run -p bench --bin bench_gate -- --file gate.json --baseline baseline --candidate pr
+//! ```
+
+use bench::gate::compare;
+use bench::json::Json;
+
+fn main() {
+    let mut file = String::from("BENCH_fig8.json");
+    let mut baseline = String::from("baseline");
+    let mut candidate = String::from("pr");
+    let mut tolerance = 0.30f64;
+    // Baseline points slower than this (Mops/s) are reported but never
+    // fail the gate: with CI smoke budgets they are dominated by noise.
+    let mut min_mops = 0.01f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--file" => file = args.next().expect("--file needs a value"),
+            "--baseline" => baseline = args.next().expect("--baseline needs a value"),
+            "--candidate" => candidate = args.next().expect("--candidate needs a value"),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a float")
+            }
+            "--min-mops" => {
+                min_mops = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--min-mops needs a float")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench_gate [--file PATH] [--baseline LABEL] [--candidate LABEL] \
+                     [--tolerance FRACTION] [--min-mops MOPS]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {file}: {e}"));
+    let report = match compare(&doc, &baseline, &candidate, tolerance, min_mops) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "bench gate: `{candidate}` vs `{baseline}` (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    for p in &report.points {
+        println!(
+            "  {} {:>24}  {:.3} -> {:.3} Mops/s  ({:+.1}%)",
+            if p.regressed {
+                "REGRESSED"
+            } else {
+                "ok       "
+            },
+            p.key,
+            p.base,
+            p.cand,
+            p.delta * 100.0
+        );
+    }
+    let regs = report.regressions();
+    if regs.is_empty() {
+        println!("gate PASSED: {} points compared", report.points.len());
+    } else {
+        println!(
+            "gate FAILED: {} of {} points regressed more than {:.0}%",
+            regs.len(),
+            report.points.len(),
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+}

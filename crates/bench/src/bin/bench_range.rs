@@ -1,0 +1,97 @@
+//! Machine-readable range-workload snapshot: runs mixes that include
+//! ordered range scans and records the result as a labeled run in
+//! `BENCH_range.json` (same label-merge behavior as `bench_fig8`, so a
+//! baseline and a candidate can live side by side in one artifact).
+//!
+//! Mixes: `0i-0d-100r` (pure scans), `20i-10d-10r` (scans under moderate
+//! churn, where the VLX retry path actually fires) and `45i-45d-10r`
+//! (scans under near-maximum churn). One scan of
+//! `NBTREE_BENCH_RANGE_WIDTH` keys (default 100) counts as one operation.
+//!
+//! Knobs: `NBTREE_BENCH_SECS`, `NBTREE_BENCH_TRIALS`,
+//! `NBTREE_BENCH_THREADS` (default `1,2,4`), `NBTREE_BENCH_RANGES` (first
+//! entry is the key range; default 10000), `NBTREE_BENCH_RANGE_WIDTH`;
+//! `--structure NAME|all` (default `chromatic`), `--label NAME`,
+//! `--out PATH` (default `BENCH_range.json`).
+
+use bench::json::Json;
+use bench::{bench_threads, range_width, trial_duration, trials};
+use workload::{measure, Mix, ALL_MAPS};
+
+fn main() {
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_range.json");
+    let mut structure = String::from("chromatic");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            "--structure" => structure = args.next().expect("--structure needs a value"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_range [--label NAME] [--out PATH] [--structure NAME|all]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let duration = trial_duration();
+    let n_trials = trials();
+    let threads = bench_threads(&[1, 2, 4]);
+    let width = range_width();
+    let range = std::env::var("NBTREE_BENCH_RANGES")
+        .ok()
+        .and_then(|s| s.split(',').next()?.trim().parse().ok())
+        .unwrap_or(10_000u64);
+    let structures: Vec<String> = if structure == "all" {
+        ALL_MAPS.iter().map(|s| s.to_string()).collect()
+    } else {
+        assert!(
+            ALL_MAPS.contains(&structure.as_str()),
+            "unknown structure `{structure}`"
+        );
+        vec![structure.clone()]
+    };
+    let mixes = [
+        Mix::updates(0, 0).with_ranges(100, width),
+        Mix::updates(20, 10).with_ranges(10, width),
+        Mix::updates(45, 45).with_ranges(10, width),
+    ];
+
+    eprintln!(
+        "# bench_range: structures={structures:?} label={label} range={range} width={width} \
+         threads={threads:?} {n_trials} trial(s) x {duration:?}"
+    );
+
+    let mut results = Vec::new();
+    for name in &structures {
+        for mix in mixes {
+            let mix_label = mix.label();
+            for &t in &threads {
+                let (mops, _) = measure(name, t, mix, range, duration, n_trials, 42);
+                eprintln!("  {name} {mix_label} threads={t}: {mops:.3} Mops/s");
+                results.push(Json::obj(vec![
+                    ("structure", Json::Str(name.to_string())),
+                    ("mix", Json::Str(mix_label.to_string())),
+                    ("threads", Json::Num(t as f64)),
+                    ("mops", Json::Num(mops)),
+                ]));
+            }
+        }
+    }
+
+    let run = Json::obj(vec![
+        ("label", Json::Str(label.clone())),
+        ("range", Json::Num(range as f64)),
+        ("range_width", Json::Num(width as f64)),
+        ("duration_secs", Json::Num(duration.as_secs_f64())),
+        ("trials", Json::Num(n_trials as f64)),
+        ("results", Json::Arr(results)),
+    ]);
+
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let doc = bench::json::merge_labeled_run(existing.as_deref(), "bench_range/v1", &label, run);
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH_range.json");
+    eprintln!("wrote {out_path}");
+}

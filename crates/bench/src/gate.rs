@@ -1,0 +1,202 @@
+//! The CI bench gate: compares two labeled runs of a bench artifact
+//! (`BENCH_fig8.json` schema) and flags throughput regressions.
+//!
+//! The gate is deliberately coarse — CI machines are noisy, so the default
+//! tolerance is a large 30% and the comparison is per *(structure, mix,
+//! threads)* point rather than aggregate, which catches a mix-specific
+//! cliff (e.g. a range-scan change tanking only `0i-0d`) that an average
+//! would smear out.
+
+use crate::json::Json;
+
+/// One compared throughput point.
+#[derive(Debug, Clone)]
+pub struct GatePoint {
+    /// `structure/mix@threads` identifier for messages.
+    pub key: String,
+    /// Baseline throughput (Mops/s).
+    pub base: f64,
+    /// Candidate throughput (Mops/s).
+    pub cand: f64,
+    /// `cand / base - 1`, negative for slowdowns.
+    pub delta: f64,
+    /// Whether the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Result of a gate comparison.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Every point present in both runs.
+    pub points: Vec<GatePoint>,
+}
+
+impl GateReport {
+    /// The points that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&GatePoint> {
+        self.points.iter().filter(|p| p.regressed).collect()
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.points.iter().all(|p| !p.regressed)
+    }
+}
+
+fn find_run<'a>(doc: &'a Json, label: &str) -> Option<&'a Json> {
+    doc.get("runs")?
+        .items()
+        .iter()
+        .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
+}
+
+fn point_key(run: &Json, result: &Json) -> Option<(String, f64)> {
+    let mix = result.get("mix")?.as_str()?;
+    let threads = result.get("threads")?.as_f64()?;
+    // The structure lives per-run in bench_fig8 and per-result in
+    // bench_range (which can sweep several structures in one run).
+    let structure = result
+        .get("structure")
+        .or_else(|| run.get("structure"))
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let mops = result.get("mops")?.as_f64()?;
+    Some((format!("{structure}/{mix}@{threads}"), mops))
+}
+
+/// Compares the runs labeled `baseline` and `candidate` in `doc`. A point
+/// regresses when `cand < base * (1 - tolerance)`; points below
+/// `min_mops` in the baseline are compared but never flagged (too noisy to
+/// gate on). Errors when either label is missing or no points overlap.
+pub fn compare(
+    doc: &Json,
+    baseline: &str,
+    candidate: &str,
+    tolerance: f64,
+    min_mops: f64,
+) -> Result<GateReport, String> {
+    let base_run = find_run(doc, baseline).ok_or_else(|| format!("no run labeled `{baseline}`"))?;
+    let cand_run =
+        find_run(doc, candidate).ok_or_else(|| format!("no run labeled `{candidate}`"))?;
+    let base_points: Vec<(String, f64)> = base_run
+        .get("results")
+        .map(|r| r.items())
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|res| point_key(base_run, res))
+        .collect();
+    let mut report = GateReport::default();
+    for cand_res in cand_run
+        .get("results")
+        .map(|r| r.items())
+        .unwrap_or_default()
+    {
+        let Some((key, cand)) = point_key(cand_run, cand_res) else {
+            continue;
+        };
+        let Some((_, base)) = base_points.iter().find(|(k, _)| *k == key) else {
+            continue;
+        };
+        let base = *base;
+        let delta = if base > 0.0 { cand / base - 1.0 } else { 0.0 };
+        let regressed = base >= min_mops && cand < base * (1.0 - tolerance);
+        report.points.push(GatePoint {
+            key,
+            base,
+            cand,
+            delta,
+            regressed,
+        });
+    }
+    if report.points.is_empty() {
+        return Err(format!(
+            "runs `{baseline}` and `{candidate}` share no comparable points"
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(base: &[(&str, f64)], cand: &[(&str, f64)]) -> Json {
+        let results = |points: &[(&str, f64)]| {
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|(mix, mops)| {
+                        Json::obj(vec![
+                            ("mix", Json::Str(mix.to_string())),
+                            ("threads", Json::Num(2.0)),
+                            ("mops", Json::Num(*mops)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj(vec![
+            ("schema", Json::Str("bench_fig8/v1".into())),
+            (
+                "runs",
+                Json::Arr(vec![
+                    Json::obj(vec![
+                        ("label", Json::Str("baseline".into())),
+                        ("structure", Json::Str("chromatic".into())),
+                        ("results", results(base)),
+                    ]),
+                    Json::obj(vec![
+                        ("label", Json::Str("pr".into())),
+                        ("structure", Json::Str("chromatic".into())),
+                        ("results", results(cand)),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn passes_within_tolerance() {
+        let d = doc(
+            &[("0i-0d", 1.0), ("50i-50d", 2.0)],
+            &[("0i-0d", 0.8), ("50i-50d", 2.4)],
+        );
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        assert!(r.passed(), "{:?}", r.regressions());
+        assert_eq!(r.points.len(), 2);
+    }
+
+    #[test]
+    fn flags_regression_beyond_tolerance() {
+        let d = doc(
+            &[("0i-0d", 1.0), ("50i-50d", 2.0)],
+            &[("0i-0d", 0.6), ("50i-50d", 2.0)],
+        );
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        assert!(!r.passed());
+        let regs = r.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].key.contains("0i-0d"));
+        assert!(regs[0].delta < -0.30);
+    }
+
+    #[test]
+    fn tiny_baselines_are_never_flagged() {
+        let d = doc(&[("0i-0d", 0.001)], &[("0i-0d", 0.0001)]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.01).unwrap();
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn missing_label_is_an_error() {
+        let d = doc(&[("0i-0d", 1.0)], &[("0i-0d", 1.0)]);
+        assert!(compare(&d, "baseline", "nope", 0.3, 0.0).is_err());
+        assert!(compare(&d, "nope", "pr", 0.3, 0.0).is_err());
+    }
+
+    #[test]
+    fn disjoint_points_are_an_error() {
+        let d = doc(&[("0i-0d", 1.0)], &[("50i-50d", 1.0)]);
+        assert!(compare(&d, "baseline", "pr", 0.3, 0.0).is_err());
+    }
+}

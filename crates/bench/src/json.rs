@@ -151,6 +151,42 @@ impl Json {
     }
 }
 
+/// Label-merge for bench artifacts: parses `existing` (the previous
+/// artifact text, if any), keeps every run whose `label` differs, replaces
+/// or appends `run` under `label`, and wraps everything in the artifact
+/// envelope (`schema`, `host_threads`, `runs`). Malformed existing text is
+/// discarded with a warning on stderr — a half-written artifact from a
+/// crashed run must not abort the new one.
+pub fn merge_labeled_run(existing: Option<&str>, schema: &str, label: &str, run: Json) -> Json {
+    let mut runs: Vec<Json> = match existing {
+        Some(text) => match Json::parse(text) {
+            Ok(doc) => doc
+                .get("runs")
+                .map(|r| r.items().to_vec())
+                .unwrap_or_default(),
+            Err(e) => {
+                eprintln!("warning: could not parse existing artifact ({e}); overwriting");
+                Vec::new()
+            }
+        },
+        None => Vec::new(),
+    };
+    runs.retain(|r| r.get("label").and_then(Json::as_str) != Some(label));
+    runs.push(run);
+    Json::obj(vec![
+        ("schema", Json::Str(schema.into())),
+        (
+            "host_threads",
+            Json::Num(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as f64,
+            ),
+        ),
+        ("runs", Json::Arr(runs)),
+    ])
+}
+
 fn skip_ws(b: &[u8], pos: &mut usize) {
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
@@ -332,6 +368,37 @@ mod tests {
         assert!(Json::parse("{\"a\": }").is_err());
         assert!(Json::parse("[1, 2,]").is_err());
         assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn merge_replaces_matching_label_and_keeps_others() {
+        let run = |label: &str, mops: f64| {
+            Json::obj(vec![
+                ("label", Json::Str(label.into())),
+                ("mops", Json::Num(mops)),
+            ])
+        };
+        // Fresh artifact.
+        let doc = merge_labeled_run(None, "bench_x/v1", "baseline", run("baseline", 1.0));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("bench_x/v1"));
+        assert_eq!(doc.get("runs").unwrap().items().len(), 1);
+        // Merge a second label.
+        let text = doc.pretty();
+        let doc = merge_labeled_run(Some(&text), "bench_x/v1", "pr", run("pr", 2.0));
+        assert_eq!(doc.get("runs").unwrap().items().len(), 2);
+        // Re-running a label replaces, not duplicates.
+        let text = doc.pretty();
+        let doc = merge_labeled_run(Some(&text), "bench_x/v1", "pr", run("pr", 3.0));
+        let runs = doc.get("runs").unwrap().items();
+        assert_eq!(runs.len(), 2);
+        let pr = runs
+            .iter()
+            .find(|r| r.get("label").and_then(Json::as_str) == Some("pr"))
+            .unwrap();
+        assert_eq!(pr.get("mops").unwrap().as_f64(), Some(3.0));
+        // Garbage input is discarded, not fatal.
+        let doc = merge_labeled_run(Some("{broken"), "bench_x/v1", "a", run("a", 1.0));
+        assert_eq!(doc.get("runs").unwrap().items().len(), 1);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Shared configuration and table printing for the figure-regeneration
 //! binaries (`figure8`, `figure9`, `height_bound`, `ablation_violations`,
-//! `rebalance_cost`).
+//! `rebalance_cost`) and the machine-readable artifact bins (`bench_fig8`,
+//! `bench_range`, `bench_gate`).
 
+pub mod gate;
 pub mod json;
 
 use std::time::Duration;
@@ -44,6 +46,17 @@ pub fn key_ranges() -> Vec<u64> {
         return s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
     }
     vec![100, 10_000, 1_000_000]
+}
+
+/// Width of range scans in the range workloads: `NBTREE_BENCH_RANGE_WIDTH`
+/// (keys per scan), default 100. A scan starting at `k` covers
+/// `[k, k + width)`; one scan counts as one operation in Mops/s.
+pub fn range_width() -> u64 {
+    std::env::var("NBTREE_BENCH_RANGE_WIDTH")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(100)
 }
 
 /// Thread counts to sweep: `NBTREE_BENCH_THREADS=1,2` overrides the

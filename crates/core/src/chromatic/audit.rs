@@ -225,6 +225,38 @@ where
     pub fn height(&self) -> usize {
         self.audit().height
     }
+
+    /// Sequential oracle check for [`range`](ChromaticTree::range): compares
+    /// the VLX-validated scan of `[lo, hi]` against the plain in-order
+    /// traversal restricted to the interval. Intended for quiescent moments
+    /// (tests and experiment checkpoints, like [`audit`](ChromaticTree::audit));
+    /// under concurrent updates the two snapshots may legitimately differ.
+    /// Returns the number of keys in the interval.
+    pub fn audit_range(&self, lo: &K, hi: &K) -> Result<usize, String> {
+        let scanned = self.range(lo.clone()..=hi.clone());
+        let oracle: Vec<(K, V)> = self
+            .collect()
+            .into_iter()
+            .filter(|(k, _)| k >= lo && k <= hi)
+            .collect();
+        if scanned.len() != oracle.len() {
+            return Err(format!(
+                "range [{lo:?}, {hi:?}] returned {} keys, oracle has {}",
+                scanned.len(),
+                oracle.len()
+            ));
+        }
+        // Element-wise key equality with the in-order oracle also certifies
+        // sortedness and duplicate-freedom (the oracle is strictly sorted).
+        for ((ks, _), (ko, _)) in scanned.iter().zip(oracle.iter()) {
+            if ks != ko {
+                return Err(format!(
+                    "range [{lo:?}, {hi:?}] diverges from oracle at key {ks:?} (oracle {ko:?})"
+                ));
+            }
+        }
+        Ok(scanned.len())
+    }
 }
 
 impl<K, V> ChromaticTree<K, V>

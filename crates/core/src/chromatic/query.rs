@@ -1,14 +1,20 @@
-//! Ordered queries: `Successor` and `Predecessor` (paper §5.5).
+//! Ordered queries: `Successor`, `Predecessor` (paper §5.5) and the
+//! VLX-validated range scan built on the same idea.
 //!
 //! These walk to the target leaf performing LLXs, then (when the answer is
 //! in an *adjacent* leaf) walk to that leaf and validate the connecting path
-//! with a VLX, which linearizes the query at the VLX.
+//! with a VLX, which linearizes the query at the VLX. [`ChromaticTree::range`]
+//! extends the scheme from a path to a whole subtree; the scan itself lives
+//! in [`crate::range`] so the other template trees can reuse it.
+
+use std::ops::RangeBounds;
 
 use llxscx::epoch::Guard;
 use llxscx::{llx, vlx, with_guard, Llx, LlxHandle};
 
 use super::ChromaticTree;
 use crate::node::Node;
+use crate::range::try_range_scan;
 
 type H<'g, K, V> = LlxHandle<'g, Node<K, V>>;
 
@@ -138,6 +144,56 @@ where
         } else {
             Attempt::Interfered
         }
+    }
+
+    /// All key/value pairs whose key lies in `bounds`, sorted by key — an
+    /// **atomic snapshot** of the interval, linearized at the successful
+    /// VLX of the final attempt (see [`crate::range`] for the argument).
+    ///
+    /// Lock-free: an attempt only fails because a concurrent SCX committed
+    /// (or was helped to a terminal state), and each failed attempt falls
+    /// back to a full re-traversal from the entry point. Retries are
+    /// tallied in [`stats`](ChromaticTree::stats). Use
+    /// [`range_attempts`](Self::range_attempts) for a bounded retry budget.
+    ///
+    /// ```
+    /// let t = nbtree::ChromaticTree::new();
+    /// for k in [1u64, 5, 9] {
+    ///     t.insert(k, k * 10);
+    /// }
+    /// assert_eq!(t.range(2..=9), vec![(5, 50), (9, 90)]);
+    /// assert_eq!(t.range(..), vec![(1, 10), (5, 50), (9, 90)]);
+    /// ```
+    pub fn range<B: RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        self.stats.bump_range_queries();
+        loop {
+            // One attempt per cached-guard entry, like the update paths: a
+            // retry storm still lets the epoch advance at repin intervals.
+            if let Some(out) = with_guard(|guard| try_range_scan(self.entry(guard), &bounds, guard))
+            {
+                return out;
+            }
+            self.stats.bump_range_retries();
+        }
+    }
+
+    /// Like [`range`](Self::range) but gives up after `attempts` failed
+    /// validations instead of waiting out a write-heavy phase, returning
+    /// `None`. `range` is `range_attempts` with an unbounded budget.
+    pub fn range_attempts<B: RangeBounds<K>>(
+        &self,
+        bounds: B,
+        attempts: usize,
+    ) -> Option<Vec<(K, V)>> {
+        self.stats.bump_range_queries();
+        for _ in 0..attempts {
+            if let Some(out) = with_guard(|guard| try_range_scan(self.entry(guard), &bounds, guard))
+            {
+                return Some(out);
+            }
+            self.stats.bump_range_retries();
+        }
+        None
     }
 
     /// The smallest key (and value), or `None` when empty. Implemented as

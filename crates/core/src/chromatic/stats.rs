@@ -35,6 +35,8 @@ pub struct Stats {
     delete_retries: AtomicU64,
     cleanup_passes: AtomicU64,
     violations_created: AtomicU64,
+    range_queries: AtomicU64,
+    range_retries: AtomicU64,
 }
 
 impl Stats {
@@ -56,6 +58,12 @@ impl Stats {
     }
     pub(crate) fn bump_violations_created(&self) {
         self.violations_created.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_range_queries(&self) {
+        self.range_queries.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_range_retries(&self) {
+        self.range_retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Committed rebalancing steps, per transformation (see [`STEP_NAMES`]).
@@ -86,5 +94,15 @@ impl Stats {
     /// Updates that created a violation.
     pub fn violations_created(&self) -> u64 {
         self.violations_created.load(Ordering::Relaxed)
+    }
+
+    /// Range queries started (each may take several validation attempts).
+    pub fn range_queries(&self) -> u64 {
+        self.range_queries.load(Ordering::Relaxed)
+    }
+
+    /// Range-scan attempts that failed validation and re-traversed.
+    pub fn range_retries(&self) -> u64 {
+        self.range_retries.load(Ordering::Relaxed)
     }
 }

@@ -14,8 +14,11 @@
 //! The ordered-dictionary API: [`ChromaticTree::get`],
 //! [`insert`](ChromaticTree::insert), [`remove`](ChromaticTree::remove),
 //! [`successor`](ChromaticTree::successor),
-//! [`predecessor`](ChromaticTree::predecessor) — all linearizable, all
-//! lock-free; `get` uses only plain reads.
+//! [`predecessor`](ChromaticTree::predecessor),
+//! [`range`](ChromaticTree::range) — all linearizable, all lock-free;
+//! `get` uses only plain reads, and `range` takes an atomic multi-key
+//! snapshot through a VLX-validated scan (the [`range`] module) without
+//! freezing records or slowing writers.
 //!
 //! ```
 //! use nbtree::ChromaticTree;
@@ -36,8 +39,10 @@
 
 pub mod chromatic;
 pub mod node;
+pub mod range;
 pub mod template;
 
 pub use chromatic::stats::STEP_NAMES;
 pub use chromatic::{AuditReport, ChromaticTree, Stats};
+pub use range::try_range_scan;
 pub use template::{tree_update, Interfered, TemplateStep};

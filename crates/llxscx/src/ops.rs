@@ -240,6 +240,19 @@ pub fn scx<'g, N: Record>(args: &ScxArgs<'_, 'g, N>, guard: &'g Guard) -> bool {
 
 /// Validate extended: `true` iff no record in `handles` has changed since
 /// its linked LLX. Helps conflicting in-progress SCXs before failing.
+///
+/// This is the read-side counterpart of [`scx`]: it establishes that the
+/// whole set of snapshots was simultaneously valid at one instant (the last
+/// `info` load of the loop below) *without freezing anything*, which is what
+/// makes multi-node reads — successor/predecessor walks and whole-subtree
+/// range scans — linearizable at zero cost to writers.
+///
+/// Incarnation awareness: the comparison is on the whole tagged word, not
+/// the descriptor address. A pooled descriptor that was recycled between the
+/// LLX and this VLX comes back with a bumped incarnation tag (see
+/// [`pool`]), so address reuse alone can never make a stale snapshot
+/// validate — the same sequence-number argument that protects the freezing
+/// CAS in the SCX helper.
 pub fn vlx<'g, N: Record>(handles: &[LlxHandle<'g, N>], guard: &'g Guard) -> bool {
     for h in handles {
         // SAFETY: handle's record is protected by `guard`.
@@ -568,6 +581,46 @@ mod tests {
         unsafe {
             crate::reclaim::dispose_record(n3.as_raw());
             crate::reclaim::dispose_record(n2.as_raw());
+            crate::reclaim::dispose_record(n1.as_raw());
+            crate::reclaim::dispose_record(root.as_raw());
+        }
+    }
+
+    /// VLX mirror of the freeze-side ABA check: a handle naming the right
+    /// descriptor address under the wrong incarnation tag must not validate,
+    /// even though the record itself is untouched. Without the tagged-word
+    /// comparison a recycled descriptor could certify a snapshot from its
+    /// previous life as a linearizable read.
+    #[test]
+    fn stale_incarnation_tag_cannot_validate() {
+        let guard = &pin();
+        let root = TestNode::new(0).into_shared(guard);
+        let h0 = llx(root, guard).unwrap();
+        let n1 = TestNode::new(1).into_shared(guard);
+        assert!(scx(
+            &ScxArgs {
+                v: &[h0],
+                finalize: 0,
+                fld_record: 0,
+                fld_idx: 0,
+                new: n1
+            },
+            guard
+        ));
+        let genuine = llx(root, guard).unwrap();
+        assert!(vlx(&[genuine], guard), "fresh handle must validate");
+        // SAFETY: same allocation as `genuine.info`, only the tag differs.
+        let stale = LlxHandle {
+            info: unsafe { Shared::from_usize(genuine.info.into_usize() ^ 0x1) },
+            ..genuine
+        };
+        assert!(
+            !vlx(&[stale], guard),
+            "stale incarnation validated (ABA on info)"
+        );
+        // A mixed sequence fails as a whole.
+        assert!(!vlx(&[genuine, stale], guard));
+        unsafe {
             crate::reclaim::dispose_record(n1.as_raw());
             crate::reclaim::dispose_record(root.as_raw());
         }

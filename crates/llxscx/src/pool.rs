@@ -125,7 +125,7 @@ unsafe fn owner_exit<N: Record>(pool: *const ()) {
     let captured = (*pool).head.swap(DEAD, Ordering::AcqRel);
     let mut p = (captured & PTR_MASK) as *mut ScxRecord<N>;
     while !p.is_null() {
-        let next = (*p).free_next.load(Ordering::Relaxed) as *mut ScxRecord<N>;
+        let next = (*p).free_next.load(Ordering::Relaxed);
         drop(Box::from_raw(p));
         drop_alloc_ref(pool);
         p = next;

@@ -86,9 +86,19 @@ pub(crate) unsafe fn dec_refs<N: Record>(d: *const ScxRecord<N>) {
     let prev = (*d).refs.fetch_sub(1, std::sync::atomic::Ordering::Release);
     debug_assert!(prev > 0, "descriptor refcount underflow");
     if prev == 1 {
-        // Acquire pairs with every other holder's Release decrement:
-        // all their uses happen-before the reuse/free below.
-        std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
+        // Acquire pairs with every other holder's Release decrement: all
+        // their uses happen-before the reuse/free below. An acquire *load*
+        // rather than a standalone fence, for two reasons: (1) correctness
+        // is identical — every decrement is an RMW, so each earlier Release
+        // decrement's release sequence extends to the final value, and an
+        // acquiring read of that value synchronizes with all of them (the
+        // same reasoning std's Arc uses under ThreadSanitizer); (2) TSan
+        // does not model standalone fences, so the fence form makes every
+        // descriptor reuse a false-positive data race in the CI TSan job,
+        // while the load form is fully visible to it. Cost: one extra
+        // already-cached load on the zero-crossing path only.
+        let observed = (*d).refs.load(std::sync::atomic::Ordering::Acquire);
+        debug_assert_eq!(observed, 0, "racing increment on a dead descriptor");
         // The refcount-based free path is now a return-to-pool path;
         // only pool overflow actually frees memory.
         crate::pool::release(d as *mut ScxRecord<N>);

@@ -164,7 +164,7 @@ mod tests {
         let a = alloc_slot(l1);
         unsafe { free_slot(a, l1) };
         let b = alloc_slot(l2);
-        assert_ne!(a, b as *mut u8);
+        assert_ne!(a, b);
         unsafe { free_slot(b, l2) };
     }
 

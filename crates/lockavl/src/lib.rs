@@ -142,6 +142,58 @@ where
         best
     }
 
+    /// All pairs with keys in `bounds`, sorted. Wait-free and an **atomic
+    /// snapshot** for free: updates are path-copying (persistent tree), so
+    /// the root pointer loaded once below is an immutable version of the
+    /// whole map — the scan linearizes at that single load. Recursion depth
+    /// is the AVL height, O(log n).
+    pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        use std::ops::Bound;
+        fn rec<K: Ord + Clone, V: Clone, B: std::ops::RangeBounds<K>>(
+            n: Shared<'_, AvlNode<K, V>>,
+            bounds: &B,
+            out: &mut Vec<(K, V)>,
+            guard: &Guard,
+        ) {
+            if n.is_null() {
+                return;
+            }
+            // SAFETY: snapshot nodes stay allocated for the guard's lifetime.
+            let node = unsafe { n.deref() };
+            let descend_left = match bounds.start_bound() {
+                Bound::Unbounded => true,
+                Bound::Included(lo) | Bound::Excluded(lo) => lo < &node.key,
+            };
+            let descend_right = match bounds.end_bound() {
+                Bound::Unbounded => true,
+                Bound::Included(hi) | Bound::Excluded(hi) => hi > &node.key,
+            };
+            if descend_left {
+                rec(node.left.load(Ordering::Acquire, guard), bounds, out, guard);
+            }
+            if bounds.contains(&node.key) {
+                out.push((node.key.clone(), node.value.clone()));
+            }
+            if descend_right {
+                rec(
+                    node.right.load(Ordering::Acquire, guard),
+                    bounds,
+                    out,
+                    guard,
+                );
+            }
+        }
+        let guard = &pin();
+        let mut out = Vec::new();
+        rec(
+            self.root.load(Ordering::Acquire, guard),
+            &bounds,
+            &mut out,
+            guard,
+        );
+        out
+    }
+
     /// Rebuilds `(key,value,left,right)` with an AVL rotation if unbalanced.
     /// All nodes created here are fresh; `retired` is untouched (only nodes
     /// from the *old* tree are ever retired).
@@ -538,6 +590,30 @@ mod tests {
         }
         let h = t.check_invariants().unwrap();
         assert!(h <= 20, "AVL height {h} too large for 10k keys");
+    }
+
+    #[test]
+    fn range_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use std::collections::BTreeMap;
+        let mut rng = StdRng::seed_from_u64(41);
+        let t = LockAvl::new();
+        let mut model = BTreeMap::new();
+        for step in 0..2000u64 {
+            let k = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.7) {
+                t.insert(k, step);
+                model.insert(k, step);
+            } else {
+                t.remove(&k);
+                model.remove(&k);
+            }
+            let lo = rng.gen_range(0..256u64);
+            let hi = lo + rng.gen_range(0..64u64);
+            let expect: Vec<_> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(t.range(lo..=hi), expect, "[{lo}, {hi}]");
+        }
+        assert_eq!(t.range(..), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct NbBst<K: Send + Sync + 'static, V: Send + Sync + 'static> {
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for NbBst<K, V> {}
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for NbBst<K, V> {}
 
+/// (grandparent, parent, leaf) triple returned by the pure-read search.
+type SearchPath<'g, K, V> = (
+    Shared<'g, Node<K, V>>,
+    Shared<'g, Node<K, V>>,
+    Shared<'g, Node<K, V>>,
+);
+
 impl<K, V> NbBst<K, V>
 where
     K: Ord + Clone + Send + Sync + 'static,
@@ -55,15 +62,7 @@ where
 
     /// Pure-read search; returns (grandparent, parent, leaf) on `key`'s
     /// search path (grandparent null when the tree is empty).
-    fn search<'g>(
-        &self,
-        key: &K,
-        guard: &'g Guard,
-    ) -> (
-        Shared<'g, Node<K, V>>,
-        Shared<'g, Node<K, V>>,
-        Shared<'g, Node<K, V>>,
-    ) {
+    fn search<'g>(&self, key: &K, guard: &'g Guard) -> SearchPath<'g, K, V> {
         let mut gp = Shared::null();
         let mut p = self.entry(guard);
         // SAFETY: entry never removed; children reached under guard (C3).
@@ -229,6 +228,19 @@ where
         }
     }
 
+    /// All pairs with keys in `bounds`, sorted — an atomic snapshot,
+    /// VLX-validated by the shared scan of [`nbtree::range`] (the template
+    /// trees share their node layout, so the chromatic tree's range
+    /// machinery applies verbatim; only the entry pointer differs).
+    pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        loop {
+            let guard = &pin();
+            if let Some(out) = nbtree::try_range_scan(self.entry(guard), &bounds, guard) {
+                return out;
+            }
+        }
+    }
+
     /// Number of keys (O(n) traversal snapshot).
     pub fn len(&self) -> usize {
         let guard = &pin();
@@ -344,6 +356,29 @@ mod tests {
             }
         }
         assert_eq!(t.collect(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = NbBst::new();
+        let mut model = BTreeMap::new();
+        for step in 0..2000u64 {
+            let k = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.7) {
+                t.insert(k, step);
+                model.insert(k, step);
+            } else {
+                t.remove(&k);
+                model.remove(&k);
+            }
+            let lo = rng.gen_range(0..256u64);
+            let hi = lo + rng.gen_range(0..64u64);
+            let expect: Vec<_> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(t.range(lo..=hi), expect, "[{lo}, {hi}]");
+        }
+        assert_eq!(t.range(..), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

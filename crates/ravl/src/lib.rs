@@ -35,6 +35,13 @@ pub struct RelaxedAvl<K: Send + Sync + 'static, V: Send + Sync + 'static> {
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for RelaxedAvl<K, V> {}
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for RelaxedAvl<K, V> {}
 
+/// (grandparent, parent, leaf) triple returned by the pure-read search.
+type SearchPath<'g, K, V> = (
+    Shared<'g, Node<K, V>>,
+    Shared<'g, Node<K, V>>,
+    Shared<'g, Node<K, V>>,
+);
+
 /// Repair passes per update: enough to fix the whole path in quiescence
 /// (ranks only need one pass per level), bounded so no interleaving can
 /// capture an updater indefinitely.
@@ -67,15 +74,7 @@ where
         self.entry.load(Ordering::SeqCst, guard)
     }
 
-    fn search<'g>(
-        &self,
-        key: &K,
-        guard: &'g Guard,
-    ) -> (
-        Shared<'g, Node<K, V>>,
-        Shared<'g, Node<K, V>>,
-        Shared<'g, Node<K, V>>,
-    ) {
+    fn search<'g>(&self, key: &K, guard: &'g Guard) -> SearchPath<'g, K, V> {
         let mut gp = Shared::null();
         let mut p = self.entry(guard);
         // SAFETY: entry never removed; traversal under guard (C3).
@@ -387,6 +386,19 @@ where
         ok
     }
 
+    /// All pairs with keys in `bounds`, sorted — an atomic snapshot via the
+    /// shared VLX-validated scan of [`nbtree::range`] (same node layout and
+    /// sentinel scheme as the chromatic tree; ranks are irrelevant to the
+    /// scan, which only follows routing keys).
+    pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        loop {
+            let guard = &pin();
+            if let Some(out) = nbtree::try_range_scan(self.entry(guard), &bounds, guard) {
+                return out;
+            }
+        }
+    }
+
     /// Number of keys (O(n) snapshot).
     pub fn len(&self) -> usize {
         let guard = &pin();
@@ -546,6 +558,29 @@ mod tests {
             }
         }
         assert_eq!(t.collect(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = RelaxedAvl::new();
+        let mut model = BTreeMap::new();
+        for step in 0..2000u64 {
+            let k = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.7) {
+                t.insert(k, step);
+                model.insert(k, step);
+            } else {
+                t.remove(&k);
+                model.remove(&k);
+            }
+            let lo = rng.gen_range(0..256u64);
+            let hi = lo + rng.gen_range(0..64u64);
+            let expect: Vec<_> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(t.range(lo..=hi), expect, "[{lo}, {hi}]");
+        }
+        assert_eq!(t.range(..), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

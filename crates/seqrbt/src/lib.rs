@@ -440,6 +440,44 @@ impl<K: Ord + Clone, V: Clone> RbTree<K, V> {
         out
     }
 
+    /// All pairs with keys in `bounds`, sorted: the in-order walk of
+    /// [`collect`](Self::collect) with subtree pruning on the bounds.
+    /// Recursion depth is the tree height, O(log n).
+    pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        fn rec<K: Ord + Clone, V: Clone, B: std::ops::RangeBounds<K>>(
+            t: &RbTree<K, V>,
+            i: u32,
+            bounds: &B,
+            out: &mut Vec<(K, V)>,
+        ) {
+            use std::ops::Bound;
+            if i == NIL {
+                return;
+            }
+            let n = t.node(i);
+            let descend_left = match bounds.start_bound() {
+                Bound::Unbounded => true,
+                Bound::Included(lo) | Bound::Excluded(lo) => lo < &n.key,
+            };
+            let descend_right = match bounds.end_bound() {
+                Bound::Unbounded => true,
+                Bound::Included(hi) | Bound::Excluded(hi) => hi > &n.key,
+            };
+            if descend_left {
+                rec(t, n.left, bounds, out);
+            }
+            if bounds.contains(&n.key) {
+                out.push((n.key.clone(), n.value.clone()));
+            }
+            if descend_right {
+                rec(t, n.right, bounds, out);
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, self.root, &bounds, &mut out);
+        out
+    }
+
     /// Checks the red-black invariants; returns the black height or an
     /// error description. Test/diagnostic helper.
     pub fn check_invariants(&self) -> Result<usize, String> {
@@ -528,6 +566,32 @@ mod tests {
         assert_eq!(t.successor(&30), None);
         assert_eq!(t.predecessor(&10), None);
         assert_eq!(t.predecessor(&25), Some((&20, &20)));
+    }
+
+    #[test]
+    fn range_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use std::collections::BTreeMap;
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut t = RbTree::new();
+        let mut model = BTreeMap::new();
+        for step in 0..2000u64 {
+            let k = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.7) {
+                t.insert(k, step);
+                model.insert(k, step);
+            } else {
+                t.remove(&k);
+                model.remove(&k);
+            }
+            let lo = rng.gen_range(0..256u64);
+            let hi = lo + rng.gen_range(0..64u64);
+            let expect: Vec<_> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(t.range(lo..=hi), expect, "[{lo}, {hi}]");
+            let expect_ex: Vec<_> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(t.range(lo..hi), expect_ex);
+        }
+        assert_eq!(t.range(..), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -63,6 +63,13 @@ impl<K: Ord + Clone, V: Clone> RbGlobal<K, V> {
             .map(|(k, v)| (k.clone(), v.clone()))
     }
 
+    /// All pairs with keys in `bounds`, sorted. Atomic by construction:
+    /// the global lock is held for the whole walk (which is exactly why
+    /// coarse-grained range scans don't scale).
+    pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        self.inner.lock().range(bounds)
+    }
+
     /// Number of keys.
     pub fn len(&self) -> usize {
         self.inner.lock().len()

@@ -386,6 +386,48 @@ where
             .map(|k| (k.clone(), n.value.clone().unwrap()))
     }
 
+    /// All pairs with keys in `bounds`, sorted: descend to the first
+    /// candidate with `find`, then walk the bottom level, skipping marked
+    /// nodes, until the end bound is passed.
+    ///
+    /// Like `ConcurrentSkipListMap`'s submap iteration this is **not** an
+    /// atomic snapshot: each key's presence is individually linearizable
+    /// (the bottom-level `next` read), but the scan as a whole has no single
+    /// linearization point. It is still sorted and duplicate-free, never
+    /// reports a key that was never present, and never misses a key that
+    /// was present for the scan's whole duration.
+    pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        use std::ops::Bound;
+        let guard = &pin();
+        let mut out = Vec::new();
+        // Position at the first node with key >= the start bound; an
+        // unbounded start walks from the head sentinel.
+        let mut cur = match bounds.start_bound() {
+            Bound::Unbounded => unsafe { self.head(guard).deref() }.next[0]
+                .load(Ordering::SeqCst, guard)
+                .with_tag(0),
+            Bound::Included(lo) | Bound::Excluded(lo) => self.find(lo, guard).succs[0],
+        };
+        while !cur.is_null() {
+            // SAFETY: list node under `guard`.
+            let n = unsafe { cur.deref() };
+            let succ = n.next[0].load(Ordering::SeqCst, guard);
+            let k = n.key.as_ref().expect("non-head node has a key");
+            match bounds.end_bound() {
+                Bound::Included(hi) if k > hi => break,
+                Bound::Excluded(hi) if k >= hi => break,
+                _ => {}
+            }
+            // tag == 1 means logically deleted; skip. An Excluded start
+            // bound also skips the exact boundary key `find` may return.
+            if succ.tag() == 0 && bounds.contains(k) {
+                out.push((k.clone(), n.value.clone().expect("data node has a value")));
+            }
+            cur = succ.with_tag(0);
+        }
+        out
+    }
+
     /// Number of keys (O(n) snapshot).
     pub fn len(&self) -> usize {
         let guard = &pin();
@@ -506,6 +548,32 @@ mod tests {
             let expect = model.range(probe + 1..).next().map(|(k, v)| (*k, *v));
             assert_eq!(m.successor(&probe), expect);
         }
+    }
+
+    #[test]
+    fn range_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let m = SkipListMap::new();
+        let mut model = BTreeMap::new();
+        for step in 0..2000u64 {
+            let k = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.7) {
+                m.insert(k, step);
+                model.insert(k, step);
+            } else {
+                m.remove(&k);
+                model.remove(&k);
+            }
+            let lo = rng.gen_range(0..256u64);
+            let hi = lo + rng.gen_range(0..64u64);
+            let expect: Vec<_> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(m.range(lo..=hi), expect, "[{lo}, {hi}]");
+            // Exclusive and half-open flavors.
+            let expect_ex: Vec<_> = model.range(lo..hi.max(lo)).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(m.range(lo..hi.max(lo)), expect_ex);
+        }
+        assert_eq!(m.range(..), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -40,10 +40,13 @@ impl<K, V> Cell<K, V> {
     }
 }
 
+/// The transactional cell arena: index-addressed so tree links are `u32`s.
+type Arena<K, V> = RwLock<Vec<Arc<TVar<Cell<K, V>>>>>;
+
 /// A concurrent ordered map: sequential red-black tree algorithms executed
 /// under TL2 transactions.
 pub struct RbStm<K, V> {
-    arena: RwLock<Vec<Arc<TVar<Cell<K, V>>>>>,
+    arena: Arena<K, V>,
     root: Arc<TVar<u32>>,
     free: Mutex<Vec<u32>>,
 }
@@ -555,6 +558,53 @@ where
         self.collect_rec(tx, c.right, out)?;
         Ok(())
     }
+
+    /// All pairs with keys in `bounds`, sorted. One read-only transaction,
+    /// so the result is an atomic snapshot (the TL2 read-set validation
+    /// plays the role the VLX plays for the template trees); the pruned
+    /// walk keeps the read set proportional to the result size plus the
+    /// boundary paths, not the whole tree.
+    pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
+        atomically(|tx| {
+            let mut out = Vec::new();
+            let root = tx.read(&self.root)?;
+            self.range_rec(tx, root, &bounds, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn range_rec<B: std::ops::RangeBounds<K>>(
+        &self,
+        tx: &mut Tx,
+        i: u32,
+        bounds: &B,
+        out: &mut Vec<(K, V)>,
+    ) -> Result<(), Retry> {
+        use std::ops::Bound;
+        if i == NIL {
+            return Ok(());
+        }
+        let c = self.read(tx, i)?;
+        let k = c.key.as_ref().expect("live node has key");
+        let descend_left = match bounds.start_bound() {
+            Bound::Unbounded => true,
+            Bound::Included(lo) | Bound::Excluded(lo) => lo < k,
+        };
+        let descend_right = match bounds.end_bound() {
+            Bound::Unbounded => true,
+            Bound::Included(hi) | Bound::Excluded(hi) => hi > k,
+        };
+        if descend_left {
+            self.range_rec(tx, c.left, bounds, out)?;
+        }
+        if bounds.contains(k) {
+            out.push((k.clone(), c.value.clone().expect("live node has value")));
+        }
+        if descend_right {
+            self.range_rec(tx, c.right, bounds, out)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -599,6 +649,29 @@ mod tests {
         assert_eq!(t.successor(&5), Some((10, 10)));
         assert_eq!(t.predecessor(&5), None);
         assert_eq!(t.predecessor(&20), Some((15, 15)));
+    }
+
+    #[test]
+    fn range_matches_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(47);
+        let t = RbStm::new();
+        let mut model = BTreeMap::new();
+        for step in 0..1500u64 {
+            let k = rng.gen_range(0..200u64);
+            if rng.gen_bool(0.7) {
+                t.insert(k, step);
+                model.insert(k, step);
+            } else {
+                t.remove(&k);
+                model.remove(&k);
+            }
+            let lo = rng.gen_range(0..200u64);
+            let hi = lo + rng.gen_range(0..48u64);
+            let expect: Vec<_> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(t.range(lo..=hi), expect, "[{lo}, {hi}]");
+        }
+        assert_eq!(t.range(..), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -83,13 +83,16 @@ impl<T: Clone + Send + Sync + 'static> ErasedVar for TVar<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Retry;
 
+/// A buffered write: the variable and the value it receives at commit.
+type WriteEntry = (Arc<dyn ErasedVar>, Box<dyn Any>);
+
 /// An executing transaction: read version, read set, buffered write set.
 pub struct Tx {
     rv: u64,
     reads: Vec<(Arc<dyn ErasedVar>, u64)>,
-    /// addr → (var, buffered value). Lazy versioning: writes are invisible
+    /// addr → buffered write. Lazy versioning: writes are invisible
     /// until commit.
-    writes: HashMap<usize, (Arc<dyn ErasedVar>, Box<dyn Any>)>,
+    writes: HashMap<usize, WriteEntry>,
     /// Statistics: aborts suffered by this `atomically` call so far.
     pub aborts: u64,
 }
@@ -203,13 +206,10 @@ pub fn atomically<R>(mut f: impl FnMut(&mut Tx) -> Result<R, Retry>) -> R {
     let mut tx = Tx::new();
     let mut backoff = 0u32;
     loop {
-        match f(&mut tx) {
-            Ok(result) => {
-                if tx.commit() {
-                    return result;
-                }
+        if let Ok(result) = f(&mut tx) {
+            if tx.commit() {
+                return result;
             }
-            Err(Retry) => {}
         }
         tx.aborts += 1;
         // Bounded exponential backoff keeps livelock at bay under heavy

@@ -18,8 +18,22 @@ pub trait ConcurrentMap: Send + Sync {
     fn remove(&self, k: &u64) -> Option<u64>;
     /// Lookup.
     fn get(&self, k: &u64) -> Option<u64>;
+    /// Ordered scan of `[lo, hi]` (inclusive), sorted by key.
+    ///
+    /// Consistency is structure-dependent (and part of what the range
+    /// workload measures): the template trees (`chromatic`, `nbbst`,
+    /// `ravl`) return VLX-validated atomic snapshots, `lockavl` snapshots
+    /// its persistent root, `rbstm` runs a read-only transaction and
+    /// `rbglobal` holds the global lock; `skiplist` alone returns a
+    /// non-atomic (per-key linearizable) scan, like
+    /// `ConcurrentSkipListMap`.
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)>;
     /// O(n) size snapshot.
     fn len(&self) -> usize;
+    /// Whether the map holds no keys (same caveats as [`len`](Self::len)).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// All registered structure names, in the order figures print them.
@@ -73,6 +87,9 @@ impl ConcurrentMap for NamedChromatic {
     fn get(&self, k: &u64) -> Option<u64> {
         self.inner.get(k)
     }
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.inner.range(lo..=hi)
+    }
     fn len(&self) -> usize {
         self.inner.len()
     }
@@ -92,6 +109,9 @@ macro_rules! impl_map {
             }
             fn get(&self, k: &u64) -> Option<u64> {
                 <$ty>::get(self, k)
+            }
+            fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+                <$ty>::range(self, lo..=hi)
             }
             fn len(&self) -> usize {
                 <$ty>::len(self)

@@ -17,34 +17,58 @@ use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// An operation mix: percentages of inserts and deletes (the remainder are
-/// lookups). The paper's mixes are 50i-50d, 20i-10d and 0i-0d.
+/// An operation mix: percentages of inserts, deletes and range scans (the
+/// remainder are lookups). The paper's mixes are 50i-50d, 20i-10d and
+/// 0i-0d; range scans extend the scenario axis beyond the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Mix {
     /// Percent of operations that are `insert`.
     pub inserts: u32,
     /// Percent of operations that are `remove`.
     pub deletes: u32,
+    /// Percent of operations that are ordered `range` scans.
+    pub ranges: u32,
+    /// Width of each range scan in key space: a scan starting at `k`
+    /// covers `[k, k + range_width)`. Ignored when `ranges == 0`.
+    pub range_width: u64,
 }
 
 impl Mix {
-    /// The paper's three mixes.
+    /// The paper's three mixes (no range component).
     pub const ALL: [Mix; 3] = [
-        Mix {
-            inserts: 50,
-            deletes: 50,
-        },
-        Mix {
-            inserts: 20,
-            deletes: 10,
-        },
-        Mix {
-            inserts: 0,
-            deletes: 0,
-        },
+        Mix::updates(50, 50),
+        Mix::updates(20, 10),
+        Mix::updates(0, 0),
     ];
 
-    /// `xi-yd` label as used in the paper.
+    /// An update/lookup mix: `inserts`% inserts, `deletes`% removes, the
+    /// rest lookups — the paper's `xi-yd` notation.
+    pub const fn updates(inserts: u32, deletes: u32) -> Mix {
+        assert!(inserts + deletes <= 100, "mix percentages exceed 100");
+        Mix {
+            inserts,
+            deletes,
+            ranges: 0,
+            range_width: 0,
+        }
+    }
+
+    /// Converts `percent` of the *lookup* share into range scans of
+    /// `width` keys each (`xi-yd-zr` notation).
+    pub const fn with_ranges(mut self, percent: u32, width: u64) -> Mix {
+        assert!(
+            self.inserts + self.deletes + percent <= 100,
+            "mix percentages exceed 100"
+        );
+        assert!(width > 0, "range width must be positive");
+        self.ranges = percent;
+        self.range_width = width;
+        self
+    }
+
+    /// `xi-yd` label as used in the paper, extended to `xi-yd-zr` when the
+    /// mix includes range scans (pure-update labels are unchanged so
+    /// existing artifacts keep their keys).
     ///
     /// Allocation-free: formats into a fixed inline buffer. The previous
     /// `String`-returning version was called from measurement loops and put
@@ -59,12 +83,18 @@ impl Mix {
         out.push_byte(b'-');
         out.push_u32(self.deletes);
         out.push_byte(b'd');
+        if self.ranges > 0 {
+            out.push_byte(b'-');
+            out.push_u32(self.ranges);
+            out.push_byte(b'r');
+        }
         out
     }
 
     /// Expected steady-state size as a fraction of the key range (§6):
     /// 1/2 for 50i-50d (last op on a key equally likely insert or delete),
     /// 2/3 for 20i-10d (insert twice as likely), 1/2 for query-only.
+    /// Range scans, like lookups, don't shift the steady state.
     pub fn steady_state_fraction(&self) -> f64 {
         if self.inserts + self.deletes == 0 {
             0.5
@@ -74,8 +104,9 @@ impl Mix {
     }
 }
 
-/// Capacity of [`MixLabel`]'s inline buffer (`"100i-100d"` is 9 bytes).
-const MIX_LABEL_CAP: usize = 12;
+/// Capacity of [`MixLabel`]'s inline buffer (`"100i-100d-100r"` is 14
+/// bytes).
+const MIX_LABEL_CAP: usize = 16;
 
 /// A stack-allocated `xi-yd` mix label; dereferences to `str`.
 #[derive(Clone, Copy)]
@@ -199,6 +230,15 @@ pub fn run_trial(
                             map.insert(k, k);
                         } else if dice < mix.inserts + mix.deletes {
                             map.remove(&k);
+                        } else if dice < mix.inserts + mix.deletes + mix.ranges {
+                            // A scan of `range_width` keys starting at `k`
+                            // counts as ONE operation: Mops/s for range
+                            // mixes measures scans, not keys touched.
+                            // Saturating at both ends: the pub fields allow
+                            // a hand-built Mix with width 0 (empty scan),
+                            // which must not underflow into a full-map scan.
+                            let hi = k.saturating_add(mix.range_width).saturating_sub(1);
+                            std::hint::black_box(map.range(k, hi));
                         } else {
                             map.get(&k);
                         }
@@ -271,17 +311,23 @@ pub fn thread_counts() -> Vec<usize> {
 }
 
 /// Sanity helper shared by tests: applies `ops` scripted operations to a
-/// map and to `BTreeMap`, asserting identical results.
+/// map and to `BTreeMap`, asserting identical results — including ordered
+/// `range` scans, so every registered structure's scan is oracle-checked.
 pub fn check_against_model(map: &dyn ConcurrentMap, seed: u64, ops: u64, range: u64) {
     use std::collections::BTreeMap;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = BTreeMap::new();
     for step in 0..ops {
         let k = rng.gen_range(0..range);
-        match rng.gen_range(0..3) {
+        match rng.gen_range(0..4) {
             0 => assert_eq!(map.insert(k, step), model.insert(k, step), "insert {k}"),
             1 => assert_eq!(map.remove(&k), model.remove(&k), "remove {k}"),
-            _ => assert_eq!(map.get(&k), model.get(&k).copied(), "get {k}"),
+            2 => assert_eq!(map.get(&k), model.get(&k).copied(), "get {k}"),
+            _ => {
+                let hi = k + rng.gen_range(0..range / 4 + 1);
+                let expect: Vec<(u64, u64)> = model.range(k..=hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(map.range(k, hi), expect, "range [{k}, {hi}]");
+            }
         }
     }
 }
@@ -309,11 +355,7 @@ mod tests {
     #[test]
     fn prefill_reaches_expected_size() {
         let map = make_map("chromatic").unwrap();
-        let mix = Mix {
-            inserts: 50,
-            deletes: 50,
-        };
-        prefill(map.as_ref(), 1000, mix, 3);
+        prefill(map.as_ref(), 1000, Mix::updates(50, 50), 3);
         let n = map.len();
         assert!((450..=550).contains(&n), "prefilled size {n}");
     }
@@ -321,28 +363,41 @@ mod tests {
     #[test]
     fn trial_counts_operations() {
         let map = make_map("skiplist").unwrap();
-        prefill(
-            map.as_ref(),
-            1000,
-            Mix {
-                inserts: 20,
-                deletes: 10,
-            },
-            3,
-        );
+        prefill(map.as_ref(), 1000, Mix::updates(20, 10), 3);
         let r = run_trial(
             map.as_ref(),
             2,
-            Mix {
-                inserts: 20,
-                deletes: 10,
-            },
+            Mix::updates(20, 10),
             1000,
             Duration::from_millis(100),
             9,
         );
         assert!(r.ops > 0);
         assert!(r.mops() > 0.0);
+    }
+
+    #[test]
+    fn trial_with_range_component_runs_on_every_map() {
+        for name in ALL_MAPS {
+            let map = make_map(name).unwrap();
+            let mix = Mix::updates(20, 10).with_ranges(20, 32);
+            prefill(map.as_ref(), 500, mix, 3);
+            let r = run_trial(map.as_ref(), 2, mix, 500, Duration::from_millis(50), 11);
+            assert!(r.ops > 0, "{name} performed no operations");
+        }
+    }
+
+    #[test]
+    fn mix_labels() {
+        assert_eq!(Mix::updates(20, 10).label().as_str(), "20i-10d");
+        assert_eq!(
+            Mix::updates(20, 10).with_ranges(5, 100).label().as_str(),
+            "20i-10d-5r"
+        );
+        assert_eq!(
+            Mix::updates(0, 0).with_ranges(100, 1).label().as_str(),
+            "0i-0d-100r"
+        );
     }
 
     #[test]

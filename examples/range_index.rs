@@ -1,7 +1,8 @@
 //! An ordered-index scenario: timestamps → event ids, queried by ordered
-//! navigation (successor/predecessor chains) while writers append and
-//! expire entries concurrently — the kind of ordered-dictionary use that
-//! hash maps cannot serve and the paper's Successor queries (§5.5) target.
+//! navigation (successor chains) and atomic window snapshots
+//! (`ChromaticTree::range`) while writers append and expire entries
+//! concurrently — the kind of ordered-dictionary use that hash maps cannot
+//! serve and the paper's VLX-based queries (§5.5) target.
 //!
 //! Run with `cargo run --release --example range_index`.
 
@@ -55,6 +56,32 @@ fn main() {
                     scanned += hops;
                 }
                 println!("reader scanned {scanned} window entries");
+            });
+        }
+        // Snapshot reader: one VLX-validated range() per window — the whole
+        // window is a single atomic snapshot, so timestamps are contiguous
+        // up to the expiry frontier and values are consistent.
+        {
+            let index = Arc::clone(&index);
+            let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut windows = 0u64;
+                let mut entries = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let now = clock.load(Ordering::Relaxed);
+                    let from = now.saturating_sub(100);
+                    let snap = index.range(from..=now);
+                    for w in snap.windows(2) {
+                        assert!(w[0].0 < w[1].0, "snapshot sorted");
+                    }
+                    for (k, v) in &snap {
+                        assert_eq!(*v, k * 10, "index maps t -> 10t");
+                    }
+                    windows += 1;
+                    entries += snap.len() as u64;
+                }
+                println!("snapshot reader took {windows} windows ({entries} entries)");
             });
         }
         std::thread::sleep(std::time::Duration::from_millis(800));

@@ -7,10 +7,7 @@ use std::time::Duration;
 use workload::{measure, Mix, ALL_MAPS};
 
 fn main() {
-    let mix = Mix {
-        inserts: 20,
-        deletes: 10,
-    };
+    let mix = Mix::updates(20, 10);
     let range = 10_000;
     let threads = std::thread::available_parallelism()
         .map(|x| x.get())

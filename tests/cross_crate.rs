@@ -11,7 +11,7 @@ fn all_structures_agree_on_scripted_workload() {
     let mut rng = StdRng::seed_from_u64(1234);
     for step in 0..4000u64 {
         let k = rng.gen_range(0..200u64);
-        match rng.gen_range(0..3) {
+        match rng.gen_range(0..4) {
             0 => {
                 let expect = maps[0].insert(k, step);
                 for m in &maps[1..] {
@@ -24,10 +24,17 @@ fn all_structures_agree_on_scripted_workload() {
                     assert_eq!(m.remove(&k), expect, "{} remove({k})", m.name());
                 }
             }
-            _ => {
+            2 => {
                 let expect = maps[0].get(&k);
                 for m in &maps[1..] {
                     assert_eq!(m.get(&k), expect, "{} get({k})", m.name());
+                }
+            }
+            _ => {
+                let hi = k + rng.gen_range(0..50u64);
+                let expect = maps[0].range(k, hi);
+                for m in &maps[1..] {
+                    assert_eq!(m.range(k, hi), expect, "{} range([{k}, {hi}])", m.name());
                 }
             }
         }
@@ -73,6 +80,70 @@ fn concurrent_cross_structure_consistency() {
     let expect = finals[0].1;
     for (name, n) in &finals {
         assert_eq!(*n, expect, "{name} diverged");
+    }
+}
+
+#[test]
+fn concurrent_range_scans_hold_weak_properties_on_every_structure() {
+    // Properties every structure's scan must satisfy even mid-churn,
+    // atomic or not: sorted, duplicate-free, no phantom keys, and no
+    // missing *permanent* key (inserted before the storm, never touched).
+    // The strong atomic-snapshot check (pair invariant) lives in
+    // `crates/core/tests/range_stress.rs` for the VLX-validated trees.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    const CHURN_LO: u64 = 1000; // churn keys: [1000, 2000)
+    const CHURN_HI: u64 = 2000;
+    for name in ALL_MAPS {
+        let map: Arc<dyn workload::ConcurrentMap> = Arc::from(make_map(name).unwrap());
+        for k in (0..CHURN_LO).step_by(10) {
+            map.insert(k, k); // permanent prefix
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for tid in 0..2u64 {
+                let map = Arc::clone(&map);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    use rand::{rngs::StdRng, Rng, SeedableRng};
+                    let mut rng = StdRng::seed_from_u64(tid);
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = rng.gen_range(CHURN_LO..CHURN_HI);
+                        if rng.gen_bool(0.5) {
+                            map.insert(k, k);
+                        } else {
+                            map.remove(&k);
+                        }
+                    }
+                });
+            }
+            let scans = if cfg!(debug_assertions) { 100 } else { 250 };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for round in 0..scans {
+                    let lo = (round as u64 * 37) % CHURN_LO;
+                    let snap = map.range(lo, CHURN_HI + 100);
+                    for w in snap.windows(2) {
+                        assert!(w[0].0 < w[1].0, "{name}: scan not strictly sorted");
+                    }
+                    for (k, _) in &snap {
+                        assert!(
+                            (*k < CHURN_LO && k % 10 == 0) || (CHURN_LO..CHURN_HI).contains(k),
+                            "{name}: phantom key {k}"
+                        );
+                    }
+                    for k in (lo.next_multiple_of(10)..CHURN_LO).step_by(10) {
+                        assert!(
+                            snap.binary_search_by_key(&k, |(k, _)| *k).is_ok(),
+                            "{name}: permanent key {k} missing from scan at [{lo}, ..]"
+                        );
+                    }
+                }
+            }));
+            stop.store(true, Ordering::Relaxed);
+            if let Err(panic) = result {
+                std::panic::resume_unwind(panic);
+            }
+        });
     }
 }
 

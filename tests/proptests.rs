@@ -124,7 +124,7 @@ proptest! {
                 _ => {}
             }
         }
-        avl.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        avl.check_invariants().map_err(TestCaseError::fail)?;
     }
 
     /// The sequential red-black tree keeps its invariants under any
@@ -140,7 +140,7 @@ proptest! {
                 _ => {}
             }
         }
-        t.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        t.check_invariants().map_err(TestCaseError::fail)?;
         prop_assert_eq!(t.collect(), model.into_iter().collect::<Vec<_>>());
     }
 }
