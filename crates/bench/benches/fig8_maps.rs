@@ -7,7 +7,11 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use workload::{make_map, prefill, Mix, ALL_MAPS};
 
 fn bench_mixes(c: &mut Criterion) {
+    let spans = bench::ShardSpanPinner::new();
     for (range, label) in [(100u64, "hi-contention-1e2"), (10_000, "moderate-1e4")] {
+        // The sharded façade's boundary table must match the block's
+        // keyspace or its cells measure a one-shard table.
+        spans.pin(range);
         let mut group = c.benchmark_group(format!("fig8/{label}/50i-50d"));
         group.sample_size(20);
         group.measurement_time(std::time::Duration::from_secs(1));

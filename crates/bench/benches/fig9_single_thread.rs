@@ -8,6 +8,8 @@ use workload::{make_map, prefill, Mix, ALL_MAPS};
 
 fn bench_overhead(c: &mut Criterion) {
     let range = 100_000u64;
+    // Size the sharded façade's boundary table to this sweep's keyspace.
+    bench::pin_shard_span(range);
     let mix = Mix::updates(20, 10);
 
     let mut group = c.benchmark_group("fig9/20i-10d");

@@ -18,7 +18,7 @@
 //! `BENCH_fig8.json`).
 
 use bench::json::Json;
-use bench::{bench_threads, trial_duration, trials};
+use bench::{bench_threads, first_key_range, trial_duration, trials};
 use workload::{measure, Mix};
 
 fn main() {
@@ -42,10 +42,7 @@ fn main() {
     let duration = trial_duration();
     let n_trials = trials();
     let threads = bench_threads(&[1, 2, 4]);
-    let range = std::env::var("NBTREE_BENCH_RANGES")
-        .ok()
-        .and_then(|s| s.split(',').next()?.trim().parse().ok())
-        .unwrap_or(10_000u64);
+    let range = first_key_range();
 
     eprintln!(
         "# bench_fig8: structure={structure} label={label} range={range} \

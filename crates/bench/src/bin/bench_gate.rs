@@ -77,15 +77,18 @@ fn main() {
             p.delta * 100.0
         );
     }
-    let regs = report.regressions();
-    if regs.is_empty() {
+    for key in &report.missing {
+        println!("  MISSING   {key:>24}  present in baseline, absent in candidate");
+    }
+    if report.passed() {
         println!("gate PASSED: {} points compared", report.points.len());
     } else {
         println!(
-            "gate FAILED: {} of {} points regressed more than {:.0}%",
-            regs.len(),
+            "gate FAILED: {} of {} points regressed more than {:.0}%, {} dropped",
+            report.regressions().len(),
             report.points.len(),
-            tolerance * 100.0
+            tolerance * 100.0,
+            report.missing.len()
         );
         std::process::exit(1);
     }

@@ -15,7 +15,7 @@
 //! `--out PATH` (default `BENCH_range.json`).
 
 use bench::json::Json;
-use bench::{bench_threads, range_width, trial_duration, trials};
+use bench::{bench_threads, first_key_range, pin_shard_span, range_width, trial_duration, trials};
 use workload::{measure, Mix, ALL_MAPS};
 
 fn main() {
@@ -40,10 +40,11 @@ fn main() {
     let n_trials = trials();
     let threads = bench_threads(&[1, 2, 4]);
     let width = range_width();
-    let range = std::env::var("NBTREE_BENCH_RANGES")
-        .ok()
-        .and_then(|s| s.split(',').next()?.trim().parse().ok())
-        .unwrap_or(10_000u64);
+    let range = first_key_range();
+    // `--structure all` includes the sharded façade: size its boundary
+    // table to the swept key range (unless explicitly pinned), like
+    // `bench_shard` does, so its rows don't measure a one-shard table.
+    pin_shard_span(range);
     let structures: Vec<String> = if structure == "all" {
         ALL_MAPS.iter().map(|s| s.to_string()).collect()
     } else {

@@ -1,0 +1,106 @@
+//! Machine-readable sharding snapshot: the paper's three operation mixes
+//! on the unsharded chromatic tree vs. the range-partitioned façade
+//! (`sharded`, chromatic shards) across a thread sweep, recorded as a
+//! labeled run in `BENCH_shard.json` (same label-merge behavior as
+//! `bench_fig8`, so a baseline and a candidate can live side by side).
+//!
+//! The façade's boundary table is sized to the benchmark's key range
+//! (`NBTREE_SHARD_SPAN` is pinned to the sweep's key range unless the
+//! caller already set it), so shards receive equal load — the deployment
+//! configuration `docs/SHARDING.md` prescribes.
+//!
+//! Knobs: `NBTREE_BENCH_SECS`, `NBTREE_BENCH_TRIALS`,
+//! `NBTREE_BENCH_THREADS` (default `1,2,4,8`), `NBTREE_BENCH_RANGES`
+//! (first entry is the key range; default 10000), `NBTREE_SHARDS`
+//! (default 8); `--label NAME`, `--out PATH` (default
+//! `BENCH_shard.json`).
+
+use bench::json::Json;
+use bench::{bench_threads, first_key_range, pin_shard_span, trial_duration, trials};
+use workload::{measure, shard_count, Mix};
+
+fn main() {
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_shard.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_shard [--label NAME] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let duration = trial_duration();
+    let n_trials = trials();
+    let threads = bench_threads(&[1, 2, 4, 8]);
+    let range = first_key_range();
+    // Size the boundary table to the key range actually swept (unless the
+    // caller pinned a span explicitly) — the comparison must not measure
+    // a misconfigured routing table.
+    pin_shard_span(range);
+    let shards = shard_count();
+
+    eprintln!(
+        "# bench_shard: label={label} range={range} shards={shards} \
+         threads={threads:?} {n_trials} trial(s) x {duration:?}"
+    );
+
+    let mut results = Vec::new();
+    for structure in ["chromatic", "sharded"] {
+        for mix in Mix::ALL {
+            let mix_label = mix.label();
+            for &t in &threads {
+                let (mops, _) = measure(structure, t, mix, range, duration, n_trials, 42);
+                eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
+                results.push(Json::obj(vec![
+                    ("structure", Json::Str(structure.to_string())),
+                    ("mix", Json::Str(mix_label.to_string())),
+                    ("threads", Json::Num(t as f64)),
+                    ("mops", Json::Num(mops)),
+                ]));
+            }
+        }
+    }
+
+    // Per-cell chromatic→sharded speedups, for humans reading the log.
+    for mix in Mix::ALL {
+        let mix_label = mix.label();
+        for &t in &threads {
+            let mops_of = |structure: &str| {
+                results
+                    .iter()
+                    .find(|r| {
+                        r.get("structure").and_then(Json::as_str) == Some(structure)
+                            && r.get("mix").and_then(Json::as_str) == Some(mix_label.as_str())
+                            && r.get("threads").and_then(Json::as_f64) == Some(t as f64)
+                    })
+                    .and_then(|r| r.get("mops").and_then(Json::as_f64))
+                    .unwrap_or(f64::NAN)
+            };
+            let (un, sh) = (mops_of("chromatic"), mops_of("sharded"));
+            eprintln!(
+                "  speedup {mix_label} threads={t}: sharded/chromatic = {:.2}x",
+                sh / un
+            );
+        }
+    }
+
+    let run = Json::obj(vec![
+        ("label", Json::Str(label.clone())),
+        ("range", Json::Num(range as f64)),
+        ("shards", Json::Num(shards as f64)),
+        ("duration_secs", Json::Num(duration.as_secs_f64())),
+        ("trials", Json::Num(n_trials as f64)),
+        ("results", Json::Arr(results)),
+    ]);
+
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let doc = bench::json::merge_labeled_run(existing.as_deref(), "bench_shard/v1", &label, run);
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH_shard.json");
+    eprintln!("wrote {out_path}");
+}

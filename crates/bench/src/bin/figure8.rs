@@ -9,12 +9,16 @@
 //! Quick run: `cargo run --release -p bench --bin figure8`
 //! Paper-scale: `NBTREE_BENCH_FULL=1 cargo run --release -p bench --bin figure8`
 
-use bench::{bench_threads, key_ranges, print_row, trial_duration, trials};
+use bench::{bench_threads, key_ranges, print_row, trial_duration, trials, ShardSpanPinner};
 use workload::{measure, thread_counts, Mix, ALL_MAPS};
 
 fn main() {
     let duration = trial_duration();
     let n_trials = trials();
+    // Re-size the sharded façade's boundary table per range block (unless
+    // the caller pinned a span); its cells would otherwise measure a
+    // one-shard table at every range other than the default.
+    let spans = ShardSpanPinner::new();
     // Host-derived sweep, overridable via NBTREE_BENCH_THREADS (the CI
     // bench-smoke job pins it to `1,2` to stay within its budget).
     let threads = bench_threads(&thread_counts());
@@ -24,6 +28,7 @@ fn main() {
     );
     for mix in Mix::ALL {
         for range in key_ranges() {
+            spans.pin(range);
             println!("\n## mix {} key range [0,{})", mix.label(), range);
             print_row(
                 "threads",

@@ -3,7 +3,7 @@
 //! `java.util.TreeMap` stand-in), key range 1e6 — the "overhead of the
 //! technique" experiment.
 
-use bench::{print_row, trial_duration, trials};
+use bench::{pin_shard_span, print_row, trial_duration, trials};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use workload::{measure, Mix, ALL_MAPS};
 
@@ -42,6 +42,8 @@ fn main() {
     let duration = trial_duration();
     let n_trials = trials();
     let range = 1_000_000;
+    // Size the sharded façade's boundary table to this sweep's keyspace.
+    pin_shard_span(range);
     println!(
         "# Figure 9: single-threaded throughput relative to sequential RBT (key range [0,1e6))"
     );

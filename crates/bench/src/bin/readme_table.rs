@@ -1,0 +1,66 @@
+//! Regenerates (or, with `--check`, verifies) the "Current numbers"
+//! table in `README.md` from the checked-in `BENCH_fig8.json`, so the
+//! recorded baseline and the prose never drift. The table lives between
+//! `readme_table:begin`/`end` marker comments; everything else in the
+//! README is untouched.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin readme_table              # rewrite
+//! cargo run --release -p bench --bin readme_table -- --check   # CI gate
+//! ```
+//!
+//! Flags: `--label NAME` (default: the artifact's most recent run),
+//! `--artifact PATH` (default `BENCH_fig8.json`), `--readme PATH`
+//! (default `README.md`).
+
+use bench::json::Json;
+use bench::readme::{bench_table, splice};
+
+fn main() {
+    let mut label: Option<String> = None;
+    let mut artifact = String::from("BENCH_fig8.json");
+    let mut readme = String::from("README.md");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = Some(args.next().expect("--label needs a value")),
+            "--artifact" => artifact = args.next().expect("--artifact needs a value"),
+            "--readme" => readme = args.next().expect("--readme needs a value"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: readme_table [--check] [--label NAME] [--artifact PATH] [--readme PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let run = || -> Result<(), String> {
+        let artifact_text = std::fs::read_to_string(&artifact)
+            .map_err(|e| format!("cannot read {artifact}: {e}"))?;
+        let doc = Json::parse(&artifact_text).map_err(|e| format!("{artifact}: {e}"))?;
+        let table = bench_table(&doc, label.as_deref())?;
+        let current =
+            std::fs::read_to_string(&readme).map_err(|e| format!("cannot read {readme}: {e}"))?;
+        let updated = splice(&current, &table)?;
+        if updated == current {
+            eprintln!("readme_table: {readme} is up to date with {artifact}");
+        } else if check {
+            return Err(format!(
+                "{readme} is stale relative to {artifact}; \
+                 run `cargo run --release -p bench --bin readme_table` and commit"
+            ));
+        } else {
+            std::fs::write(&readme, &updated).map_err(|e| format!("cannot write {readme}: {e}"))?;
+            eprintln!("readme_table: rewrote the Current-numbers table in {readme}");
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("readme_table: {e}");
+        std::process::exit(1);
+    }
+}

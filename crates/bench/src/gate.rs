@@ -29,6 +29,11 @@ pub struct GatePoint {
 pub struct GateReport {
     /// Every point present in both runs.
     pub points: Vec<GatePoint>,
+    /// Baseline points with no candidate counterpart. A dropped point is
+    /// a gate failure: a candidate sweep that lost a (structure, mix,
+    /// threads) cell — a panic mid-sweep, a changed default — must not
+    /// pass just because the surviving cells look fine.
+    pub missing: Vec<String>,
 }
 
 impl GateReport {
@@ -37,9 +42,10 @@ impl GateReport {
         self.points.iter().filter(|p| p.regressed).collect()
     }
 
-    /// Whether the gate passes.
+    /// Whether the gate passes: no regressed point and no baseline point
+    /// missing from the candidate.
     pub fn passed(&self) -> bool {
-        self.points.iter().all(|p| !p.regressed)
+        self.points.iter().all(|p| !p.regressed) && self.missing.is_empty()
     }
 }
 
@@ -113,6 +119,11 @@ pub fn compare(
             "runs `{baseline}` and `{candidate}` share no comparable points"
         ));
     }
+    report.missing = base_points
+        .iter()
+        .filter(|(k, _)| !report.points.iter().any(|p| p.key == *k))
+        .map(|(k, _)| k.clone())
+        .collect();
     Ok(report)
 }
 
@@ -198,5 +209,22 @@ mod tests {
     fn disjoint_points_are_an_error() {
         let d = doc(&[("0i-0d", 1.0)], &[("50i-50d", 1.0)]);
         assert!(compare(&d, "baseline", "pr", 0.3, 0.0).is_err());
+    }
+
+    #[test]
+    fn dropped_baseline_points_fail_the_gate() {
+        // The candidate lost a whole cell (panic mid-sweep, changed
+        // defaults): the surviving cells pass, the gate must not.
+        let d = doc(
+            &[("0i-0d", 1.0), ("50i-50d", 2.0)],
+            &[("0i-0d", 1.0)], // 50i-50d vanished
+        );
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        assert!(r.regressions().is_empty());
+        assert!(!r.passed());
+        assert_eq!(r.missing, vec!["chromatic/50i-50d@2".to_string()]);
+        // Extra candidate-only points are fine (a new cell is not a loss).
+        let d = doc(&[("0i-0d", 1.0)], &[("0i-0d", 1.0), ("50i-50d", 2.0)]);
+        assert!(compare(&d, "baseline", "pr", 0.30, 0.0).unwrap().passed());
     }
 }

@@ -1,10 +1,13 @@
 //! Shared configuration and table printing for the figure-regeneration
 //! binaries (`figure8`, `figure9`, `height_bound`, `ablation_violations`,
-//! `rebalance_cost`) and the machine-readable artifact bins (`bench_fig8`,
-//! `bench_range`, `bench_gate`).
+//! `rebalance_cost`), the machine-readable artifact bins (`bench_fig8`,
+//! `bench_range`, `bench_shard`, `bench_gate`) and the docs-gate bins
+//! (`linkcheck`, `readme_table`).
 
 pub mod gate;
 pub mod json;
+pub mod links;
+pub mod readme;
 
 use std::time::Duration;
 
@@ -46,6 +49,59 @@ pub fn key_ranges() -> Vec<u64> {
         return s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
     }
     vec![100, 10_000, 1_000_000]
+}
+
+/// The single key range used by the artifact bins (`bench_fig8`,
+/// `bench_range`, `bench_shard`): the first entry of
+/// `NBTREE_BENCH_RANGES`, default 10 000.
+pub fn first_key_range() -> u64 {
+    std::env::var("NBTREE_BENCH_RANGES")
+        .ok()
+        .and_then(|s| s.split(',').next()?.trim().parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// Pins `NBTREE_SHARD_SPAN` to `range` unless the caller already set it,
+/// so the `"sharded"` registry entry's boundary table is sized to the
+/// keyspace a benchmark actually sweeps. Without this, a sweep over a
+/// range much smaller than the default span piles every key into the
+/// first shard and the bin measures a misconfiguration. Single-range
+/// bins call this once; multi-range sweeps use [`ShardSpanPinner`].
+pub fn pin_shard_span(range: u64) {
+    ShardSpanPinner::new().pin(range);
+}
+
+/// Per-block span pinning for multi-range sweeps (`figure8`, the
+/// criterion map benches): remembers at construction whether the caller
+/// pinned `NBTREE_SHARD_SPAN`, and if not, re-sizes it to each range
+/// block — every `"sharded"` cell is then measured with a boundary table
+/// matching the keys it actually receives.
+///
+/// Discipline: call `pin` only from the main thread while no worker
+/// threads are live (all sweepers do — `measure` joins its workers
+/// before returning), since `set_var` racing an env read is undefined
+/// behavior on glibc. The env knob is this workspace's configuration
+/// convention (`NBTREE_*`); if a future sweeper needs per-thread spans,
+/// thread the span through `make_map` explicitly instead of pinning.
+pub struct ShardSpanPinner {
+    user_pinned: bool,
+}
+
+impl ShardSpanPinner {
+    /// Captures whether the caller already pinned a span.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> ShardSpanPinner {
+        ShardSpanPinner {
+            user_pinned: std::env::var_os("NBTREE_SHARD_SPAN").is_some(),
+        }
+    }
+
+    /// Sizes the span to `range`, unless the caller pinned one.
+    pub fn pin(&self, range: u64) {
+        if !self.user_pinned {
+            std::env::set_var("NBTREE_SHARD_SPAN", range.to_string());
+        }
+    }
 }
 
 /// Width of range scans in the range workloads: `NBTREE_BENCH_RANGE_WIDTH`

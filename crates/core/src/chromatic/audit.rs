@@ -232,7 +232,10 @@ where
     /// (tests and experiment checkpoints, like [`audit`](ChromaticTree::audit));
     /// under concurrent updates the two snapshots may legitimately differ.
     /// Returns the number of keys in the interval.
-    pub fn audit_range(&self, lo: &K, hi: &K) -> Result<usize, String> {
+    pub fn audit_range(&self, lo: &K, hi: &K) -> Result<usize, String>
+    where
+        V: PartialEq + std::fmt::Debug,
+    {
         let scanned = self.range(lo.clone()..=hi.clone());
         let oracle: Vec<(K, V)> = self
             .collect()
@@ -246,12 +249,19 @@ where
                 oracle.len()
             ));
         }
-        // Element-wise key equality with the in-order oracle also certifies
-        // sortedness and duplicate-freedom (the oracle is strictly sorted).
-        for ((ks, _), (ko, _)) in scanned.iter().zip(oracle.iter()) {
+        // Element-wise (key, value) equality with the in-order oracle also
+        // certifies sortedness and duplicate-freedom (the oracle is
+        // strictly sorted) — and that no key was paired with another
+        // leaf's or a stale value.
+        for ((ks, vs), (ko, vo)) in scanned.iter().zip(oracle.iter()) {
             if ks != ko {
                 return Err(format!(
                     "range [{lo:?}, {hi:?}] diverges from oracle at key {ks:?} (oracle {ko:?})"
+                ));
+            }
+            if vs != vo {
+                return Err(format!(
+                    "range [{lo:?}, {hi:?}] value for key {ks:?} is {vs:?}, oracle has {vo:?}"
                 ));
             }
         }

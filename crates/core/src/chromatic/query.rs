@@ -180,6 +180,17 @@ where
     /// Like [`range`](Self::range) but gives up after `attempts` failed
     /// validations instead of waiting out a write-heavy phase, returning
     /// `None`. `range` is `range_attempts` with an unbounded budget.
+    ///
+    /// ```
+    /// let t = nbtree::ChromaticTree::new();
+    /// for k in 0u64..100 {
+    ///     t.insert(k, k);
+    /// }
+    /// // Quiescent tree: the first attempt validates.
+    /// assert_eq!(t.range_attempts(10..=19, 1).unwrap().len(), 10);
+    /// // A zero budget never scans at all.
+    /// assert_eq!(t.range_attempts(10..=19, 0), None);
+    /// ```
     pub fn range_attempts<B: RangeBounds<K>>(
         &self,
         bounds: B,

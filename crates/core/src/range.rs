@@ -62,6 +62,36 @@ fn may_contain_at_or_above<K: Ord, B: RangeBounds<K>>(bounds: &B, k: &K) -> bool
 /// re-traverse. `Some(pairs)` is sorted by key, duplicate-free, and is the
 /// exact interval content at the final VLX (the query's linearization
 /// point).
+///
+/// # Example
+///
+/// One attempt over a hand-built leaf-oriented tree (entry sentinel →
+/// second `∞` sentinel → one routing node over two leaves — the shape of
+/// paper Fig. 10 after two inserts). At quiescence the attempt must
+/// validate on the first try:
+///
+/// ```
+/// use nbtree::node::Node;
+/// use nbtree::try_range_scan;
+/// use llxscx::{pin, Shared};
+///
+/// let guard = &pin();
+/// let l10 = Node::leaf(Some(10u64), Some("a"), 1).into_shared(guard);
+/// let l20 = Node::leaf(Some(20u64), Some("b"), 1).into_shared(guard);
+/// let inner = Node::internal(Some(20), 1, l10, l20).into_shared(guard);
+/// let inf = Node::leaf(None, None, 1).into_shared(guard);
+/// let sentinel = Node::internal(None, 1, inner, inf).into_shared(guard);
+/// let entry = Node::internal(None, 1, sentinel, Shared::null()).into_shared(guard);
+///
+/// let snap = try_range_scan(entry, &(5u64..=25), guard)
+///     .expect("no concurrent updates: the VLX must validate");
+/// assert_eq!(snap, vec![(10, "a"), (20, "b")]);
+/// // Pruning on the routing key keeps out-of-interval leaves unvisited.
+/// assert_eq!(try_range_scan(entry, &(..10u64), guard).unwrap(), vec![]);
+/// ```
+///
+/// (`ChromaticTree::range` wraps this in the retry loop; the example
+/// leaks its six nodes, which is fine for a doctest process.)
 pub fn try_range_scan<'g, K, V, B>(
     entry: Shared<'g, Node<K, V>>,
     bounds: &B,

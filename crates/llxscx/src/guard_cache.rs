@@ -61,6 +61,29 @@ thread_local! {
 /// calls during thread teardown fall back to a plain short-lived pin.
 #[inline]
 pub fn with_guard<R>(f: impl FnOnce(&Guard) -> R) -> R {
+    with_guard_weighted(1, f)
+}
+
+/// [`with_guard`] with an explicit *weight*: the call counts as `weight`
+/// operations toward the [`REPIN_OPS`] repin cadence.
+///
+/// This is the substrate for batched entry points (`sharded`'s
+/// `insert_batch`/`remove_batch`/`get_batch`): a batch of `n` operations
+/// executes under ONE pin — every nested `with_guard` the per-operation
+/// code performs takes the cheap re-entrant path, a depth increment on the
+/// already-pinned epoch — but still advances the cadence by `n`, so a
+/// weighted caller crosses the repin boundary as often *per operation* as
+/// an unweighted one. The precise guarantee: a repin-and-collect happens
+/// on the first call after the counter reaches [`REPIN_OPS`], so the
+/// reclamation lag is bounded by `REPIN_OPS` operations *plus one batch*
+/// (the pin necessarily spans the whole closure — garbage deferred inside
+/// a batch of `n > REPIN_OPS` operations waits for that batch to end, and
+/// the post-repin counter saturates at `REPIN_OPS`, making the next batch
+/// repin again immediately). Weighting only the counter (not the pin) is
+/// what makes batching an amortization rather than an unbounded
+/// reclamation stall.
+#[inline]
+pub fn with_guard_weighted<R>(weight: u32, f: impl FnOnce(&Guard) -> R) -> R {
     // Probe accessibility first so `f` is moved into exactly one path.
     // Thread-local storage already torn down (destructor context)?
     if CACHE.try_with(|_| ()).is_err() {
@@ -76,9 +99,9 @@ pub fn with_guard<R>(f: impl FnOnce(&Guard) -> R) -> R {
                     // and repin fresh.
                     *slot = None;
                     crossbeam_epoch::flush_and_collect();
-                    cache.uses.set(0);
+                    cache.uses.set(weight.min(REPIN_OPS));
                 } else {
-                    cache.uses.set(uses + 1);
+                    cache.uses.set(uses.saturating_add(weight));
                 }
                 f(slot.get_or_insert_with(pin))
             }
@@ -129,5 +152,37 @@ mod tests {
     fn reentrant_with_guard_falls_back() {
         let out = with_guard(|_outer| with_guard(|_inner| 42));
         assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn weighted_calls_advance_the_repin_cadence() {
+        // Garbage deferred under a weighted call must be reclaimed after a
+        // handful of further weighted calls: a weight-64 batch counts as 64
+        // operations, so two batches cross the repin boundary — whereas 8
+        // *unweighted* calls would leave the cadence counter at 8 and the
+        // cached pin warm. (The actual free also needs the global epoch to
+        // advance twice, hence the trailing flush loop, same as the
+        // unweighted test above.)
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static RAN_W: AtomicBool = AtomicBool::new(false);
+        with_guard_weighted(REPIN_OPS, |g| unsafe {
+            g.defer_unchecked(|| RAN_W.store(true, Ordering::SeqCst))
+        });
+        for _ in 0..8 {
+            with_guard_weighted(REPIN_OPS, |_| ());
+        }
+        flush();
+        for _ in 0..64 {
+            flush();
+        }
+        assert!(RAN_W.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn weight_saturates_instead_of_overflowing() {
+        for _ in 0..4 {
+            with_guard_weighted(u32::MAX, |_| ());
+        }
+        flush();
     }
 }

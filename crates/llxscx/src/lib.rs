@@ -70,7 +70,7 @@ pub mod record;
 pub mod slab;
 
 pub use descriptor::ScxRecord;
-pub use guard_cache::with_guard;
+pub use guard_cache::{with_guard, with_guard_weighted};
 pub use ops::{llx, scx, vlx, Llx, LlxHandle, ScxArgs};
 pub use record::{Record, RecordHeader, MAX_ARITY, MAX_V};
 

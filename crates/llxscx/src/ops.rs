@@ -253,6 +253,45 @@ pub fn scx<'g, N: Record>(args: &ScxArgs<'_, 'g, N>, guard: &'g Guard) -> bool {
 /// [`pool`]), so address reuse alone can never make a stale snapshot
 /// validate — the same sequence-number argument that protects the freezing
 /// CAS in the SCX helper.
+///
+/// # Example
+///
+/// An atomic two-record read: LLX both records, then one VLX certifies
+/// that the pair of snapshots was simultaneously valid. An SCX on either
+/// record in between invalidates the set as a whole.
+///
+/// ```
+/// use llxscx::{llx, scx, vlx, pin, Atomic, Owned, Record, RecordHeader, ScxArgs};
+///
+/// struct N { header: RecordHeader<N>, kids: [Atomic<N>; 2] }
+/// impl Record for N {
+///     const ARITY: usize = 2;
+///     fn header(&self) -> &RecordHeader<Self> { &self.header }
+///     fn child(&self, i: usize) -> &Atomic<Self> { &self.kids[i] }
+/// }
+/// fn node() -> Owned<N> {
+///     Owned::new(N { header: RecordHeader::new(), kids: [Atomic::null(), Atomic::null()] })
+/// }
+///
+/// let guard = &pin();
+/// let a = node().into_shared(guard);
+/// let b = node().into_shared(guard);
+/// let (ha, hb) = (llx(a, guard).unwrap(), llx(b, guard).unwrap());
+/// // Nothing changed since the LLXs: the snapshot pair is atomic.
+/// assert!(vlx(&[ha, hb], guard));
+///
+/// // A committed SCX on `a` fails any V-sequence containing `ha` ...
+/// let fresh = node().into_shared(guard);
+/// assert!(scx(&ScxArgs { v: &[ha], finalize: 0, fld_record: 0, fld_idx: 0, new: fresh }, guard));
+/// assert!(!vlx(&[ha, hb], guard));
+/// // ... while `b`'s untouched snapshot alone still validates.
+/// assert!(vlx(&[hb], guard));
+/// # unsafe {
+/// #     llxscx::reclaim::dispose_record(fresh.as_raw());
+/// #     llxscx::reclaim::dispose_record(b.as_raw());
+/// #     llxscx::reclaim::dispose_record(a.as_raw());
+/// # }
+/// ```
 pub fn vlx<'g, N: Record>(handles: &[LlxHandle<'g, N>], guard: &'g Guard) -> bool {
     for h in handles {
         // SAFETY: handle's record is protected by `guard`.

@@ -151,6 +151,79 @@ fn registered_pool<N: Record>() -> *const PoolShared<N> {
     })
 }
 
+/// Point-in-time statistics of the calling thread's descriptor pool for
+/// one record type — the observable face of the reuse machinery (useful
+/// in tests and leak hunts; the counters are maintained on the slow
+/// paths only, so reading them costs nothing on the SCX fast path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Quiescent descriptors currently parked in the pool.
+    pub pooled: usize,
+    /// Descriptors allocated through this pool and not yet freed
+    /// (parked + checked out + still referenced by the structure).
+    pub allocated: usize,
+}
+
+/// Statistics of the calling thread's pool for record type `N`
+/// (registering the pool if this thread has not used one yet).
+///
+/// # Example
+///
+/// Steady-state updates allocate **no** descriptors: after a warm-up
+/// SCX, cycling further SCXs recycles the same allocation through the
+/// pool.
+///
+/// ```
+/// use llxscx::{llx, scx, pin, Atomic, Owned, Record, RecordHeader, ScxArgs};
+///
+/// struct N { header: RecordHeader<N>, kids: [Atomic<N>; 2] }
+/// impl Record for N {
+///     const ARITY: usize = 2;
+///     fn header(&self) -> &RecordHeader<Self> { &self.header }
+///     fn child(&self, i: usize) -> &Atomic<Self> { &self.kids[i] }
+/// }
+/// fn node() -> Owned<N> {
+///     Owned::new(N { header: RecordHeader::new(), kids: [Atomic::null(), Atomic::null()] })
+/// }
+///
+/// let root = {
+///     let guard = &pin();
+///     node().into_shared(guard).as_raw()
+/// };
+/// for _ in 0..300u64 {
+///     {
+///         let guard = &pin();
+///         let root = llxscx::Shared::from(root);
+///         let h = llx(root, guard).unwrap();
+///         let fresh = node().into_shared(guard);
+///         let old = h.right();
+///         let args = ScxArgs { v: &[h], finalize: 0, fld_record: 0, fld_idx: 1, new: fresh };
+///         assert!(scx(&args, guard));
+///         if !old.is_null() {
+///             // The replaced child is ours to retire (it was not in R).
+///             unsafe { llxscx::reclaim::defer_dispose_record(old.as_raw(), guard) };
+///         }
+///     }
+///     // Let the epoch-deferred reference drops run so descriptors
+///     // return to the pool.
+///     llxscx::epoch::flush_and_collect();
+/// }
+/// let stats = llxscx::pool::local_stats::<N>();
+/// assert!(stats.allocated <= 8, "descriptors were not reused: {stats:?}");
+/// assert!(stats.pooled >= 1);
+/// ```
+pub fn local_stats<N: Record>() -> PoolStats {
+    let pool = registered_pool::<N>();
+    // SAFETY: the pool outlives its owner thread (us).
+    unsafe {
+        PoolStats {
+            pooled: (*pool).stacked.load(Ordering::Relaxed),
+            // `allocs` counts outstanding allocations + 1 owner reference.
+            allocated: (*pool).allocs.load(Ordering::Relaxed).saturating_sub(1),
+        }
+    }
+}
+
 /// Checks a quiescent descriptor out of the calling thread's pool,
 /// allocating a fresh one only when the pool is empty. Bumps the
 /// incarnation counter (`seq`); the caller must tag every published pointer

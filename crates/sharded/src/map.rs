@@ -1,0 +1,64 @@
+//! The object-safe `u64 → u64` concurrent-map interface shared by the
+//! whole suite.
+//!
+//! The trait historically lived in the `workload` crate next to the
+//! structure adapters; it moved down here so the sharding façade
+//! ([`ShardedMap`](crate::ShardedMap)) can *implement* it without a
+//! `workload ↔ sharded` dependency cycle. `workload` re-exports it under
+//! the old path, so `workload::ConcurrentMap` keeps working.
+
+/// Object-safe concurrent map interface used by the harness. Keys and
+/// values are fixed to `u64` as in the paper's experiments.
+pub trait ConcurrentMap: Send + Sync {
+    /// Structure name as used in figures.
+    fn name(&self) -> &'static str;
+    /// Insert, returning the displaced value.
+    fn insert(&self, k: u64, v: u64) -> Option<u64>;
+    /// Remove, returning the removed value.
+    fn remove(&self, k: &u64) -> Option<u64>;
+    /// Lookup.
+    fn get(&self, k: &u64) -> Option<u64>;
+    /// Ordered scan of `[lo, hi]` (inclusive), sorted by key.
+    ///
+    /// Consistency is structure-dependent (and part of what the range
+    /// workload measures): the template trees (`chromatic`, `nbbst`,
+    /// `ravl`) return VLX-validated atomic snapshots, `lockavl` snapshots
+    /// its persistent root, `rbstm` runs a read-only transaction and
+    /// `rbglobal` holds the global lock; `skiplist` returns a non-atomic
+    /// (per-key linearizable) scan, like `ConcurrentSkipListMap`, and
+    /// `sharded` stitches per-shard atomic scans into a per-shard
+    /// linearizable result (see the `sharded` crate docs).
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)>;
+    /// O(n) size snapshot.
+    fn len(&self) -> usize;
+    /// Whether the map holds no keys (same caveats as [`len`](Self::len)).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Boxed maps forward to their contents, so `ShardedMap<Box<dyn
+/// ConcurrentMap>>` composes the façade over any registered structure.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        (**self).insert(k, v)
+    }
+    fn remove(&self, k: &u64) -> Option<u64> {
+        (**self).remove(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        (**self).get(k)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        (**self).range(lo, hi)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+}

@@ -1,40 +1,20 @@
 //! A uniform `u64 → u64` map interface over every structure in the suite.
+//!
+//! The [`ConcurrentMap`] trait itself lives in the `sharded` crate (the
+//! sharding façade must implement it, and `workload` must register the
+//! façade — re-exporting from the lower crate breaks the cycle); this
+//! module provides the implementations for every structure plus the
+//! `make_map` registry.
 
 use nbbst::NbBst;
 use nbskiplist::SkipListMap;
 use nbtree::ChromaticTree;
 use ravl::RelaxedAvl;
 use seqrbt::RbGlobal;
+use sharded::ShardedMap;
 use tinystm::RbStm;
 
-/// Object-safe concurrent map interface used by the harness. Keys and
-/// values are fixed to `u64` as in the paper's experiments.
-pub trait ConcurrentMap: Send + Sync {
-    /// Structure name as used in figures.
-    fn name(&self) -> &'static str;
-    /// Insert, returning the displaced value.
-    fn insert(&self, k: u64, v: u64) -> Option<u64>;
-    /// Remove, returning the removed value.
-    fn remove(&self, k: &u64) -> Option<u64>;
-    /// Lookup.
-    fn get(&self, k: &u64) -> Option<u64>;
-    /// Ordered scan of `[lo, hi]` (inclusive), sorted by key.
-    ///
-    /// Consistency is structure-dependent (and part of what the range
-    /// workload measures): the template trees (`chromatic`, `nbbst`,
-    /// `ravl`) return VLX-validated atomic snapshots, `lockavl` snapshots
-    /// its persistent root, `rbstm` runs a read-only transaction and
-    /// `rbglobal` holds the global lock; `skiplist` alone returns a
-    /// non-atomic (per-key linearizable) scan, like
-    /// `ConcurrentSkipListMap`.
-    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)>;
-    /// O(n) size snapshot.
-    fn len(&self) -> usize;
-    /// Whether the map holds no keys (same caveats as [`len`](Self::len)).
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
+pub use sharded::ConcurrentMap;
 
 /// All registered structure names, in the order figures print them.
 pub const ALL_MAPS: &[&str] = &[
@@ -46,7 +26,69 @@ pub const ALL_MAPS: &[&str] = &[
     "lockavl",
     "rbstm",
     "rbglobal",
+    "sharded",
 ];
+
+/// Key-universe span assumed by the registry's `"sharded"` entry:
+/// `NBTREE_SHARD_SPAN` (default 10 000, the default bench key range). The
+/// boundary table splits `[0, span)` uniformly, so a benchmark sweeping a
+/// different key range should pin this knob to that range — routing is
+/// still *correct* under any span (out-of-span keys land in the last
+/// shard), it just stops spreading load.
+pub fn shard_span() -> u64 {
+    std::env::var("NBTREE_SHARD_SPAN")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(10_000)
+}
+
+/// The shard count used by the registry's `"sharded"` entry:
+/// `NBTREE_SHARDS` rounded to a power of two, default 8.
+pub fn shard_count() -> usize {
+    sharded::shards_from_env(8)
+}
+
+/// One chromatic-tree shard of the registry's sharded façade.
+///
+/// A concrete type rather than `Box<dyn ConcurrentMap>` so the per-shard
+/// hop is a static call: the façade behind `make_map("sharded")` already
+/// costs one virtual dispatch at the trait object boundary, and paying a
+/// second one inside every shard was measurable on the point-op hot path.
+pub struct ChromaticShard(ChromaticTree<u64, u64>);
+
+impl ConcurrentMap for ChromaticShard {
+    fn name(&self) -> &'static str {
+        "chromatic-shard"
+    }
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        self.0.insert(k, v)
+    }
+    fn remove(&self, k: &u64) -> Option<u64> {
+        self.0.remove(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.0.get(k)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.0.range(lo..=hi)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// A sharded façade over chromatic-tree shards: `shards` instances
+/// splitting `[0, span)` uniformly. The registry's `"sharded"` entry is
+/// `make_sharded(shard_count(), shard_span())`; benchmarks and tests that
+/// need batched entry points (`insert_batch` & co., which are inherent
+/// methods of [`ShardedMap`], not part of the object-safe trait) build
+/// the concrete type through this constructor.
+pub fn make_sharded(shards: usize, span: u64) -> ShardedMap<ChromaticShard> {
+    ShardedMap::with_span(shards, span.max(shards as u64), |_| {
+        ChromaticShard(ChromaticTree::new())
+    })
+}
 
 /// Instantiates a map by name; `None` for unknown names.
 pub fn make_map(name: &str) -> Option<Box<dyn ConcurrentMap>> {
@@ -59,12 +101,13 @@ pub fn make_map(name: &str) -> Option<Box<dyn ConcurrentMap>> {
             inner: ChromaticTree::with_allowed_violations(6),
             name: "chromatic6",
         }),
-        "nbbst" => Box::new(NbBst::<u64, u64>::new()),
-        "ravl" => Box::new(RelaxedAvl::<u64, u64>::new()),
-        "skiplist" => Box::new(SkipListMap::<u64, u64>::new()),
-        "lockavl" => Box::new(lockavl::LockAvl::<u64, u64>::new()),
-        "rbstm" => Box::new(RbStm::<u64, u64>::new()),
-        "rbglobal" => Box::new(RbGlobal::<u64, u64>::new()),
+        "nbbst" => Box::new(NbBstMap(NbBst::new())),
+        "ravl" => Box::new(RelaxedAvlMap(RelaxedAvl::new())),
+        "skiplist" => Box::new(SkipListAdapter(SkipListMap::new())),
+        "lockavl" => Box::new(LockAvlMap(lockavl::LockAvl::new())),
+        "rbstm" => Box::new(RbStmMap(RbStm::new())),
+        "rbglobal" => Box::new(RbGlobalMap(RbGlobal::new())),
+        "sharded" => Box::new(make_sharded(shard_count(), shard_span())),
         _ => return None,
     })
 }
@@ -95,34 +138,40 @@ impl ConcurrentMap for NamedChromatic {
     }
 }
 
+// `ConcurrentMap` is now a foreign trait (it lives in `sharded`), so the
+// orphan rule requires a local newtype between it and each foreign
+// structure type. The wrappers are private; `make_map` still hands out
+// `Box<dyn ConcurrentMap>` exactly as before.
 macro_rules! impl_map {
-    ($ty:ty, $name:literal) => {
-        impl ConcurrentMap for $ty {
+    ($wrapper:ident, $ty:ty, $name:literal) => {
+        struct $wrapper($ty);
+
+        impl ConcurrentMap for $wrapper {
             fn name(&self) -> &'static str {
                 $name
             }
             fn insert(&self, k: u64, v: u64) -> Option<u64> {
-                <$ty>::insert(self, k, v)
+                self.0.insert(k, v)
             }
             fn remove(&self, k: &u64) -> Option<u64> {
-                <$ty>::remove(self, k)
+                self.0.remove(k)
             }
             fn get(&self, k: &u64) -> Option<u64> {
-                <$ty>::get(self, k)
+                self.0.get(k)
             }
             fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-                <$ty>::range(self, lo..=hi)
+                self.0.range(lo..=hi)
             }
             fn len(&self) -> usize {
-                <$ty>::len(self)
+                self.0.len()
             }
         }
     };
 }
 
-impl_map!(NbBst<u64, u64>, "nbbst");
-impl_map!(RelaxedAvl<u64, u64>, "ravl");
-impl_map!(SkipListMap<u64, u64>, "skiplist");
-impl_map!(lockavl::LockAvl<u64, u64>, "lockavl");
-impl_map!(RbStm<u64, u64>, "rbstm");
-impl_map!(RbGlobal<u64, u64>, "rbglobal");
+impl_map!(NbBstMap, NbBst<u64, u64>, "nbbst");
+impl_map!(RelaxedAvlMap, RelaxedAvl<u64, u64>, "ravl");
+impl_map!(SkipListAdapter, SkipListMap<u64, u64>, "skiplist");
+impl_map!(LockAvlMap, lockavl::LockAvl<u64, u64>, "lockavl");
+impl_map!(RbStmMap, RbStm<u64, u64>, "rbstm");
+impl_map!(RbGlobalMap, RbGlobal<u64, u64>, "rbglobal");

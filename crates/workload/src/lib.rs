@@ -9,7 +9,7 @@
 
 pub mod adapters;
 
-pub use adapters::{make_map, ConcurrentMap, ALL_MAPS};
+pub use adapters::{make_map, make_sharded, shard_count, shard_span, ConcurrentMap, ALL_MAPS};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -332,6 +332,56 @@ pub fn check_against_model(map: &dyn ConcurrentMap, seed: u64, ops: u64, range: 
     }
 }
 
+/// Oracle check for the sharded façade's batched entry points: applies
+/// random interleaved batches (insert/remove/get) and point ops to a
+/// [`sharded::ShardedMap`] and to `BTreeMap`, asserting identical per-item
+/// results in input order. Mirrors the façade's documented duplicate-key
+/// semantics (a batch behaves like sequential input-order application),
+/// so the model is simply "apply the batch one element at a time".
+pub fn check_batches_against_model<M: ConcurrentMap>(
+    map: &sharded::ShardedMap<M>,
+    seed: u64,
+    batches: u64,
+    range: u64,
+) {
+    use std::collections::BTreeMap;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = BTreeMap::new();
+    for step in 0..batches {
+        let len = rng.gen_range(0..48usize);
+        match rng.gen_range(0..4) {
+            0 => {
+                let batch: Vec<(u64, u64)> = (0..len)
+                    .map(|i| (rng.gen_range(0..range), step * 1000 + i as u64))
+                    .collect();
+                let expect: Vec<_> = batch.iter().map(|&(k, v)| model.insert(k, v)).collect();
+                assert_eq!(map.insert_batch(&batch), expect, "insert_batch {batch:?}");
+            }
+            1 => {
+                let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..range)).collect();
+                let expect: Vec<_> = keys.iter().map(|k| model.remove(k)).collect();
+                assert_eq!(map.remove_batch(&keys), expect, "remove_batch {keys:?}");
+            }
+            2 => {
+                let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..range)).collect();
+                let expect: Vec<_> = keys.iter().map(|k| model.get(k).copied()).collect();
+                assert_eq!(map.get_batch(&keys), expect, "get_batch {keys:?}");
+            }
+            _ => {
+                // Point ops and scans interleave with the batches so the
+                // two entry-point families are checked against each other,
+                // boundary-straddling ranges included.
+                let k = rng.gen_range(0..range);
+                assert_eq!(map.insert(k, step), model.insert(k, step));
+                let hi = k + rng.gen_range(0..range / 2 + 1);
+                let expect: Vec<(u64, u64)> = model.range(k..=hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(map.range(k, hi), expect, "range [{k}, {hi}]");
+            }
+        }
+    }
+    assert_eq!(map.len(), model.len());
+}
+
 /// Convenience: construct every registered map.
 pub fn all_maps() -> Vec<Arc<dyn ConcurrentMap>> {
     ALL_MAPS
@@ -350,6 +400,14 @@ mod tests {
             let map = make_map(name).unwrap();
             check_against_model(map.as_ref(), 7, 3000, 128);
         }
+    }
+
+    #[test]
+    fn sharded_batches_match_model() {
+        // Boundaries at 32/64/96: a range of 128 keys over 4 shards keeps
+        // every batch and scan straddling shard boundaries.
+        let map = make_sharded(4, 128);
+        check_batches_against_model(&map, 11, 400, 128);
     }
 
     #[test]

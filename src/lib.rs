@@ -5,6 +5,7 @@
 //! - [`nbtree`]: tree update template + non-blocking chromatic tree (the paper's contribution)
 //! - [`nbbst`], [`ravl`]: other trees built with the template
 //! - [`nbskiplist`], [`seqrbt`], [`tinystm`], [`lockavl`]: experimental baselines
+//! - [`sharded`]: range-partitioned sharding façade with batched operations
 //! - [`workload`]: benchmark harness
 pub use llxscx;
 pub use lockavl;
@@ -13,5 +14,6 @@ pub use nbskiplist;
 pub use nbtree;
 pub use ravl;
 pub use seqrbt;
+pub use sharded;
 pub use tinystm;
 pub use workload;
