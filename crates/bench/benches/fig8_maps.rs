@@ -4,21 +4,22 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use workload::{make_map, prefill, Mix, ALL_MAPS};
+use workload::{make_map, prefill, Mix, SuiteConfig, ALL_MAPS};
 
 fn bench_mixes(c: &mut Criterion) {
-    let spans = bench::ShardSpanPinner::new();
+    let base_cfg = SuiteConfig::from_env();
     for (range, label) in [(100u64, "hi-contention-1e2"), (10_000, "moderate-1e4")] {
         // The sharded façade's boundary table must match the block's
-        // keyspace or its cells measure a one-shard table.
-        spans.pin(range);
+        // keyspace or its cells measure a one-shard table (an explicit
+        // NBTREE_SHARD_SPAN still wins).
+        let cfg = base_cfg.for_key_range(range);
         let mut group = c.benchmark_group(format!("fig8/{label}/50i-50d"));
         group.sample_size(20);
         group.measurement_time(std::time::Duration::from_secs(1));
         group.warm_up_time(std::time::Duration::from_millis(400));
         let mix = Mix::updates(50, 50);
         for name in ALL_MAPS {
-            let map = make_map(name).unwrap();
+            let map = make_map(name, &cfg).unwrap();
             prefill(map.as_ref(), range, mix, 7);
             let mut rng = StdRng::seed_from_u64(99);
             group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -40,7 +41,7 @@ fn bench_mixes(c: &mut Criterion) {
         group.warm_up_time(std::time::Duration::from_millis(400));
         let mix = Mix::updates(0, 0);
         for name in ALL_MAPS {
-            let map = make_map(name).unwrap();
+            let map = make_map(name, &cfg).unwrap();
             prefill(map.as_ref(), range, mix, 7);
             let mut rng = StdRng::seed_from_u64(99);
             group.bench_function(BenchmarkId::from_parameter(name), |b| {

@@ -4,12 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use workload::{make_map, prefill, Mix, ALL_MAPS};
+use workload::{make_map, prefill, Mix, SuiteConfig, ALL_MAPS};
 
 fn bench_overhead(c: &mut Criterion) {
     let range = 100_000u64;
-    // Size the sharded façade's boundary table to this sweep's keyspace.
-    bench::pin_shard_span(range);
+    // Size the sharded façade's boundary table to this sweep's keyspace
+    // (an explicit NBTREE_SHARD_SPAN still wins).
+    let cfg = SuiteConfig::from_env().for_key_range(range);
     let mix = Mix::updates(20, 10);
 
     let mut group = c.benchmark_group("fig9/20i-10d");
@@ -46,7 +47,7 @@ fn bench_overhead(c: &mut Criterion) {
         if *name == "rbstm" {
             continue; // as in the paper: STM prefill at large ranges is prohibitive
         }
-        let map = make_map(name).unwrap();
+        let map = make_map(name, &cfg).unwrap();
         prefill(map.as_ref(), range, mix, 7);
         let mut rng = StdRng::seed_from_u64(42);
         group.bench_function(BenchmarkId::from_parameter(name), |b| {

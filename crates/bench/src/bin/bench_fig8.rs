@@ -19,7 +19,7 @@
 
 use bench::json::Json;
 use bench::{bench_threads, first_key_range, trial_duration, trials};
-use workload::{measure, Mix};
+use workload::{measure, Mix, SuiteConfig};
 
 fn main() {
     let mut label = String::from("current");
@@ -43,6 +43,9 @@ fn main() {
     let n_trials = trials();
     let threads = bench_threads(&[1, 2, 4]);
     let range = first_key_range();
+    // `--structure sharded` works too: size its boundary table to the
+    // swept key range (an explicit NBTREE_SHARD_SPAN still wins).
+    let cfg = SuiteConfig::from_env().for_key_range(range);
 
     eprintln!(
         "# bench_fig8: structure={structure} label={label} range={range} \
@@ -53,7 +56,7 @@ fn main() {
     for mix in Mix::ALL {
         let mix_label = mix.label();
         for &t in &threads {
-            let (mops, _) = measure(&structure, t, mix, range, duration, n_trials, 42);
+            let (mops, _) = measure(&structure, &cfg, t, mix, range, duration, n_trials, 42);
             eprintln!("  {mix_label} threads={t}: {mops:.3} Mops/s");
             results.push(Json::obj(vec![
                 ("mix", Json::Str(mix_label.to_string())),

@@ -15,8 +15,8 @@
 //! `--out PATH` (default `BENCH_range.json`).
 
 use bench::json::Json;
-use bench::{bench_threads, first_key_range, pin_shard_span, range_width, trial_duration, trials};
-use workload::{measure, Mix, ALL_MAPS};
+use bench::{bench_threads, first_key_range, range_width, trial_duration, trials};
+use workload::{measure, Mix, SuiteConfig, ALL_MAPS};
 
 fn main() {
     let mut label = String::from("current");
@@ -42,9 +42,10 @@ fn main() {
     let width = range_width();
     let range = first_key_range();
     // `--structure all` includes the sharded façade: size its boundary
-    // table to the swept key range (unless explicitly pinned), like
-    // `bench_shard` does, so its rows don't measure a one-shard table.
-    pin_shard_span(range);
+    // table to the swept key range (an explicit NBTREE_SHARD_SPAN still
+    // wins), like `bench_shard` does, so its rows don't measure a
+    // one-shard table.
+    let cfg = SuiteConfig::from_env().for_key_range(range);
     let structures: Vec<String> = if structure == "all" {
         ALL_MAPS.iter().map(|s| s.to_string()).collect()
     } else {
@@ -70,7 +71,7 @@ fn main() {
         for mix in mixes {
             let mix_label = mix.label();
             for &t in &threads {
-                let (mops, _) = measure(name, t, mix, range, duration, n_trials, 42);
+                let (mops, _) = measure(name, &cfg, t, mix, range, duration, n_trials, 42);
                 eprintln!("  {name} {mix_label} threads={t}: {mops:.3} Mops/s");
                 results.push(Json::obj(vec![
                     ("structure", Json::Str(name.to_string())),

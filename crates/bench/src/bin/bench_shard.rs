@@ -1,12 +1,22 @@
-//! Machine-readable sharding snapshot: the paper's three operation mixes
-//! on the unsharded chromatic tree vs. the range-partitioned façade
-//! (`sharded`, chromatic shards) across a thread sweep, recorded as a
-//! labeled run in `BENCH_shard.json` (same label-merge behavior as
-//! `bench_fig8`, so a baseline and a candidate can live side by side).
+//! Machine-readable sharding + batching snapshot: the paper's three
+//! operation mixes on the unsharded chromatic tree vs. the
+//! range-partitioned façade (`sharded`, chromatic shards) across a thread
+//! sweep, **plus a batch-size sweep** (1/8/64/512) driving the
+//! trait-level batch entry points through the standard harness — all
+//! recorded as one labeled run in `BENCH_shard.json` (same label-merge
+//! behavior as `bench_fig8`, so a baseline and a candidate can live side
+//! by side).
+//!
+//! The batch sweep is where the two amortization levels show up: the
+//! façade's per-shard grouping under one weighted pin, and the chromatic
+//! tree's sorted-bulk insert (shared search-path prefixes) behind both
+//! the `chromatic` and the per-shard entries. Batched cells carry the
+//! `-bN` mix-label suffix and a `batch` field; `b1` cells are the point
+//! baseline the printed speedups divide by.
 //!
 //! The façade's boundary table is sized to the benchmark's key range
-//! (`NBTREE_SHARD_SPAN` is pinned to the sweep's key range unless the
-//! caller already set it), so shards receive equal load — the deployment
+//! through the typed `SuiteConfig` (an explicit `NBTREE_SHARD_SPAN`
+//! still wins), so shards receive equal load — the deployment
 //! configuration `docs/SHARDING.md` prescribes.
 //!
 //! Knobs: `NBTREE_BENCH_SECS`, `NBTREE_BENCH_TRIALS`,
@@ -16,8 +26,18 @@
 //! `BENCH_shard.json`).
 
 use bench::json::Json;
-use bench::{bench_threads, first_key_range, pin_shard_span, trial_duration, trials};
-use workload::{measure, shard_count, Mix};
+use bench::{bench_threads, first_key_range, trial_duration, trials};
+use workload::{measure, Mix, SuiteConfig};
+
+/// Batch sizes swept (1 = the point-op baseline).
+const BATCHES: [u32; 4] = [1, 8, 64, 512];
+
+/// Mixes of the batch sweep: pure inserts isolate the chromatic
+/// sorted-bulk path; the maximal-churn mix shows batching under the
+/// paper's hardest workload.
+fn batch_mixes() -> [Mix; 2] {
+    [Mix::updates(100, 0), Mix::updates(50, 50)]
+}
 
 fn main() {
     let mut label = String::from("current");
@@ -39,11 +59,11 @@ fn main() {
     let n_trials = trials();
     let threads = bench_threads(&[1, 2, 4, 8]);
     let range = first_key_range();
-    // Size the boundary table to the key range actually swept (unless the
-    // caller pinned a span explicitly) — the comparison must not measure
+    // Size the boundary table to the key range actually swept (an
+    // explicit NBTREE_SHARD_SPAN wins) — the comparison must not measure
     // a misconfigured routing table.
-    pin_shard_span(range);
-    let shards = shard_count();
+    let cfg = SuiteConfig::from_env().for_key_range(range);
+    let shards = cfg.shards();
 
     eprintln!(
         "# bench_shard: label={label} range={range} shards={shards} \
@@ -51,11 +71,12 @@ fn main() {
     );
 
     let mut results = Vec::new();
+    // Point-op sweep: sharded vs unsharded on the paper's mixes.
     for structure in ["chromatic", "sharded"] {
         for mix in Mix::ALL {
             let mix_label = mix.label();
             for &t in &threads {
-                let (mops, _) = measure(structure, t, mix, range, duration, n_trials, 42);
+                let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
                 eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
                 results.push(Json::obj(vec![
                     ("structure", Json::Str(structure.to_string())),
@@ -66,27 +87,79 @@ fn main() {
             }
         }
     }
+    // Batch-size sweep: the same harness, with the mixes' batch knob
+    // driving insert_batch / remove_batch / get_batch.
+    for structure in ["chromatic", "sharded"] {
+        for base in batch_mixes() {
+            for b in BATCHES {
+                // b = 1 is the point flavor and keeps the point label; for
+                // mixes the point sweep above already measured, re-running
+                // it would emit a second row under the same
+                // (structure, mix, threads) key. The speedup lookups below
+                // then use the point-sweep cell as the b1 baseline.
+                if b == 1 && Mix::ALL.contains(&base) {
+                    continue;
+                }
+                let mix = base.with_batch(b);
+                let mix_label = mix.label();
+                for &t in &threads {
+                    let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
+                    eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
+                    results.push(Json::obj(vec![
+                        ("structure", Json::Str(structure.to_string())),
+                        ("mix", Json::Str(mix_label.to_string())),
+                        ("batch", Json::Num(b as f64)),
+                        ("threads", Json::Num(t as f64)),
+                        ("mops", Json::Num(mops)),
+                    ]));
+                }
+            }
+        }
+    }
+
+    let mops_of = |structure: &str, mix_label: &str, t: usize| {
+        results
+            .iter()
+            .find(|r| {
+                r.get("structure").and_then(Json::as_str) == Some(structure)
+                    && r.get("mix").and_then(Json::as_str) == Some(mix_label)
+                    && r.get("threads").and_then(Json::as_f64) == Some(t as f64)
+            })
+            .and_then(|r| r.get("mops").and_then(Json::as_f64))
+            .unwrap_or(f64::NAN)
+    };
 
     // Per-cell chromatic→sharded speedups, for humans reading the log.
     for mix in Mix::ALL {
         let mix_label = mix.label();
         for &t in &threads {
-            let mops_of = |structure: &str| {
-                results
-                    .iter()
-                    .find(|r| {
-                        r.get("structure").and_then(Json::as_str) == Some(structure)
-                            && r.get("mix").and_then(Json::as_str) == Some(mix_label.as_str())
-                            && r.get("threads").and_then(Json::as_f64) == Some(t as f64)
-                    })
-                    .and_then(|r| r.get("mops").and_then(Json::as_f64))
-                    .unwrap_or(f64::NAN)
-            };
-            let (un, sh) = (mops_of("chromatic"), mops_of("sharded"));
+            let (un, sh) = (
+                mops_of("chromatic", &mix_label, t),
+                mops_of("sharded", &mix_label, t),
+            );
             eprintln!(
                 "  speedup {mix_label} threads={t}: sharded/chromatic = {:.2}x",
                 sh / un
             );
+        }
+    }
+    // Per-cell batched-vs-point speedups (batch N against the b1 cell of
+    // the same structure/mix/threads).
+    for structure in ["chromatic", "sharded"] {
+        for base in batch_mixes() {
+            let point_label = base.with_batch(1).label();
+            for &b in &BATCHES[1..] {
+                let batch_label = base.with_batch(b).label();
+                for &t in &threads {
+                    let point = mops_of(structure, &point_label, t);
+                    let batched = mops_of(structure, &batch_label, t);
+                    eprintln!(
+                        "  speedup {structure} {batch_label} threads={t}: \
+                         batched/point = {:.2}x",
+                        batched / point
+                    );
+                }
+            }
         }
     }
 

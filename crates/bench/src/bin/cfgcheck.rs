@@ -1,0 +1,35 @@
+//! Configuration-discipline gate (see `bench::cfggate`): scans every
+//! first-party `*.rs` file for the retired environment-mutation idioms
+//! (`std::env` mutation, the old shard-span pinning helpers, and
+//! suite-construction env parsing outside `workload::config`) and exits
+//! non-zero listing the offenders. CI runs it in the docs job next to
+//! `linkcheck`; locally:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin cfgcheck
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    // Repo root: two levels above this crate's manifest dir.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate sits two levels under the repo root")
+        .to_path_buf();
+    let hits = bench::cfggate::scan_repo(&root);
+    if hits.is_empty() {
+        println!("cfgcheck: configuration discipline holds (no forbidden idioms)");
+        return;
+    }
+    eprintln!(
+        "cfgcheck: {} forbidden configuration idiom(s) — suite-construction \
+         knobs must flow through workload::SuiteConfig, never the environment:",
+        hits.len()
+    );
+    for hit in &hits {
+        eprintln!("  {}:{}: `{}`", hit.path.display(), hit.line, hit.token);
+    }
+    std::process::exit(1);
+}

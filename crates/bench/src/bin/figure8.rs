@@ -9,16 +9,17 @@
 //! Quick run: `cargo run --release -p bench --bin figure8`
 //! Paper-scale: `NBTREE_BENCH_FULL=1 cargo run --release -p bench --bin figure8`
 
-use bench::{bench_threads, key_ranges, print_row, trial_duration, trials, ShardSpanPinner};
-use workload::{measure, thread_counts, Mix, ALL_MAPS};
+use bench::{bench_threads, key_ranges, print_row, trial_duration, trials};
+use workload::{measure, thread_counts, Mix, SuiteConfig, ALL_MAPS};
 
 fn main() {
     let duration = trial_duration();
     let n_trials = trials();
-    // Re-size the sharded façade's boundary table per range block (unless
-    // the caller pinned a span); its cells would otherwise measure a
-    // one-shard table at every range other than the default.
-    let spans = ShardSpanPinner::new();
+    // Suite-construction knobs, parsed exactly once; each range block
+    // re-sizes the sharded façade's boundary table via `for_key_range`
+    // (a NBTREE_SHARD_SPAN-pinned span wins) — its cells would otherwise
+    // measure a one-shard table at every range other than the default.
+    let base_cfg = SuiteConfig::from_env();
     // Host-derived sweep, overridable via NBTREE_BENCH_THREADS (the CI
     // bench-smoke job pins it to `1,2` to stay within its budget).
     let threads = bench_threads(&thread_counts());
@@ -28,7 +29,7 @@ fn main() {
     );
     for mix in Mix::ALL {
         for range in key_ranges() {
-            spans.pin(range);
+            let cfg = base_cfg.for_key_range(range);
             println!("\n## mix {} key range [0,{})", mix.label(), range);
             print_row(
                 "threads",
@@ -43,7 +44,7 @@ fn main() {
                 let cells: Vec<String> = threads
                     .iter()
                     .map(|&t| {
-                        let (mops, _) = measure(name, t, mix, range, duration, n_trials, 42);
+                        let (mops, _) = measure(name, &cfg, t, mix, range, duration, n_trials, 42);
                         format!("{mops:.3}")
                     })
                     .collect();

@@ -3,9 +3,9 @@
 //! `java.util.TreeMap` stand-in), key range 1e6 — the "overhead of the
 //! technique" experiment.
 
-use bench::{pin_shard_span, print_row, trial_duration, trials};
+use bench::{print_row, trial_duration, trials};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use workload::{measure, Mix, ALL_MAPS};
+use workload::{measure, Mix, SuiteConfig, ALL_MAPS};
 
 /// Single-threaded throughput of the plain sequential `RbTree` under `mix`.
 fn sequential_mops(mix: Mix, range: u64, duration: std::time::Duration) -> f64 {
@@ -42,8 +42,9 @@ fn main() {
     let duration = trial_duration();
     let n_trials = trials();
     let range = 1_000_000;
-    // Size the sharded façade's boundary table to this sweep's keyspace.
-    pin_shard_span(range);
+    // Size the sharded façade's boundary table to this sweep's keyspace
+    // (an explicit NBTREE_SHARD_SPAN still wins).
+    let cfg = SuiteConfig::from_env().for_key_range(range);
     println!(
         "# Figure 9: single-threaded throughput relative to sequential RBT (key range [0,1e6))"
     );
@@ -76,7 +77,7 @@ fn main() {
             .iter()
             .zip(&baselines)
             .map(|(&m, &base)| {
-                let (mops, _) = measure(name, 1, m, range, duration, n_trials, 42);
+                let (mops, _) = measure(name, &cfg, 1, m, range, duration, n_trials, 42);
                 format!("{:.2}x", mops / base)
             })
             .collect();

@@ -2,8 +2,16 @@
 //! binaries (`figure8`, `figure9`, `height_bound`, `ablation_violations`,
 //! `rebalance_cost`), the machine-readable artifact bins (`bench_fig8`,
 //! `bench_range`, `bench_shard`, `bench_gate`) and the docs-gate bins
-//! (`linkcheck`, `readme_table`).
+//! (`linkcheck`, `readme_table`, `cfgcheck`).
+//!
+//! The knobs parsed here are the *bench* family (`NBTREE_BENCH_*`:
+//! durations, trials, thread sweeps, key ranges). Suite-construction
+//! knobs (`NBTREE_SHARDS`, `NBTREE_SHARD_SPAN`) are parsed exactly once
+//! per process by `workload::SuiteConfig::from_env` and threaded through
+//! `make_map`/`measure` as a value — no binary mutates the environment,
+//! and the `cfgcheck` gate keeps it that way.
 
+pub mod cfggate;
 pub mod gate;
 pub mod json;
 pub mod links;
@@ -59,49 +67,6 @@ pub fn first_key_range() -> u64 {
         .ok()
         .and_then(|s| s.split(',').next()?.trim().parse().ok())
         .unwrap_or(10_000)
-}
-
-/// Pins `NBTREE_SHARD_SPAN` to `range` unless the caller already set it,
-/// so the `"sharded"` registry entry's boundary table is sized to the
-/// keyspace a benchmark actually sweeps. Without this, a sweep over a
-/// range much smaller than the default span piles every key into the
-/// first shard and the bin measures a misconfiguration. Single-range
-/// bins call this once; multi-range sweeps use [`ShardSpanPinner`].
-pub fn pin_shard_span(range: u64) {
-    ShardSpanPinner::new().pin(range);
-}
-
-/// Per-block span pinning for multi-range sweeps (`figure8`, the
-/// criterion map benches): remembers at construction whether the caller
-/// pinned `NBTREE_SHARD_SPAN`, and if not, re-sizes it to each range
-/// block — every `"sharded"` cell is then measured with a boundary table
-/// matching the keys it actually receives.
-///
-/// Discipline: call `pin` only from the main thread while no worker
-/// threads are live (all sweepers do — `measure` joins its workers
-/// before returning), since `set_var` racing an env read is undefined
-/// behavior on glibc. The env knob is this workspace's configuration
-/// convention (`NBTREE_*`); if a future sweeper needs per-thread spans,
-/// thread the span through `make_map` explicitly instead of pinning.
-pub struct ShardSpanPinner {
-    user_pinned: bool,
-}
-
-impl ShardSpanPinner {
-    /// Captures whether the caller already pinned a span.
-    #[allow(clippy::new_without_default)]
-    pub fn new() -> ShardSpanPinner {
-        ShardSpanPinner {
-            user_pinned: std::env::var_os("NBTREE_SHARD_SPAN").is_some(),
-        }
-    }
-
-    /// Sizes the span to `range`, unless the caller pinned one.
-    pub fn pin(&self, range: u64) {
-        if !self.user_pinned {
-            std::env::set_var("NBTREE_SHARD_SPAN", range.to_string());
-        }
-    }
 }
 
 /// Width of range scans in the range workloads: `NBTREE_BENCH_RANGE_WIDTH`

@@ -9,6 +9,7 @@
 //! be freely interleaved with other operations.
 
 mod audit;
+mod bulk;
 mod query;
 mod rebalance;
 pub mod stats;

@@ -11,21 +11,27 @@
 //!
 //! * [`ConcurrentMap`] — the suite-wide object-safe map interface
 //!   (relocated here from `workload`, which re-exports it, so the façade
-//!   can implement the same trait it composes over).
+//!   can implement the same trait it composes over). The trait is
+//!   **batch-first**: `insert_batch` / `remove_batch` / `get_batch` are
+//!   trait methods with per-element defaults, so any map in the suite can
+//!   be driven by whole request groups and structures with a real bulk
+//!   path override them.
 //! * [`ShardedMap`] — the façade: power-of-two shard counts, uniform or
 //!   *learned* split points ([`ShardedMap::from_sample`]), wait-free
 //!   boundary-table routing, and cross-shard `range` stitching with a
 //!   documented per-shard atomicity scope.
-//! * Batched entry points ([`ShardedMap::insert_batch`] /
-//!   [`remove_batch`](ShardedMap::remove_batch) /
-//!   [`get_batch`](ShardedMap::get_batch)) — sort, group by shard, and
-//!   execute each group under a single amortized epoch pin
-//!   (`llxscx::guard_cache::with_guard_weighted`), turning per-operation
-//!   pin traffic into per-batch traffic without starving reclamation.
+//! * The façade's batch overrides — sort, group by shard, and execute
+//!   each group whole through the *shard's own* batch entry point, so a
+//!   shard with a native bulk path (the chromatic tree's sorted-bulk
+//!   insert, with weighted epoch pins chunked at the repin cadence via
+//!   `llxscx::guard_cache::with_guard_weighted`) amortizes over the
+//!   entire group without starving reclamation.
 //!
-//! Shard counts come from the caller or from the `NBTREE_SHARDS`
-//! environment override ([`shards_from_env`]). See `docs/SHARDING.md` in
-//! the repository for the full design chapter.
+//! Shard counts and the boundary-table span are plumbed in by the caller
+//! — deployments use `workload::SuiteConfig` (parsed from the
+//! environment once at binary startup) rather than reading env vars at
+//! construction time. See `docs/SHARDING.md` in the repository for the
+//! full design chapter.
 
 #![warn(missing_docs)]
 
@@ -34,38 +40,3 @@ pub mod shard;
 
 pub use map::ConcurrentMap;
 pub use shard::ShardedMap;
-
-/// Shard count from the `NBTREE_SHARDS` environment variable, rounded up
-/// to a power of two and clamped to `[1, 1024]`; `default` (also rounded)
-/// when unset or unparsable.
-///
-/// The env override exists so benchmarks and services can re-shard a
-/// deployment without a rebuild, mirroring the `NBTREE_BENCH_*` knob
-/// family.
-pub fn shards_from_env(default: usize) -> usize {
-    std::env::var("NBTREE_SHARDS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .unwrap_or(default)
-        .clamp(1, 1024)
-        .next_power_of_two()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn env_shards_round_to_power_of_two() {
-        // The suite must not mutate the environment (tests share a
-        // process), so only exercise the default/rounding path here; the
-        // parse path is the same `clamp` + `next_power_of_two` pipeline.
-        if std::env::var_os("NBTREE_SHARDS").is_some() {
-            return; // an outer harness pinned the knob; nothing to check
-        }
-        assert_eq!(shards_from_env(8), 8);
-        assert_eq!(shards_from_env(5), 8);
-        assert_eq!(shards_from_env(0), 1);
-        assert_eq!(shards_from_env(9999), 1024);
-    }
-}

@@ -35,6 +35,44 @@ pub trait ConcurrentMap: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Inserts a whole batch, returning the displaced value per element in
+    /// input order.
+    ///
+    /// **Semantics (all implementations):** a batch is *not* a
+    /// transaction. Each element linearizes individually, and the result
+    /// vector is what sequential input-order application would return —
+    /// in particular, duplicate keys behave as if inserted one at a time
+    /// in batch order (the last duplicate wins). Implementations are free
+    /// to reorder *execution* (the sharded façade groups by shard, the
+    /// chromatic tree bulk-inserts in ascending key order) as long as the
+    /// per-element results match input-order application; concurrent
+    /// readers may observe a batch partially applied, in whatever order
+    /// the implementation executes.
+    ///
+    /// The default implementation applies the batch one element at a
+    /// time. Structures with a cheaper bulk path override it: the sharded
+    /// façade runs each per-shard group under one amortized epoch pin,
+    /// and the chromatic tree adds a sorted-bulk insert that reuses the
+    /// shared search-path prefix between consecutive keys.
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        batch.iter().map(|&(k, v)| self.insert(k, v)).collect()
+    }
+
+    /// Removes a whole batch of keys, returning the removed value per key
+    /// in input order. Semantics as in
+    /// [`insert_batch`](Self::insert_batch): per-element linearization,
+    /// results equal to sequential input-order application.
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        keys.iter().map(|k| self.remove(k)).collect()
+    }
+
+    /// Looks up a whole batch of keys, returning the value per key in
+    /// input order. Semantics as in
+    /// [`insert_batch`](Self::insert_batch).
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
 }
 
 /// Boxed maps forward to their contents, so `ShardedMap<Box<dyn
@@ -60,5 +98,17 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
     }
     fn is_empty(&self) -> bool {
         (**self).is_empty()
+    }
+    // The batch methods have defaults, but a box must still forward them
+    // explicitly — otherwise `Box<ChromaticShard>` would silently run the
+    // per-element default instead of the tree's sorted-bulk override.
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        (**self).insert_batch(batch)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        (**self).remove_batch(keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        (**self).get_batch(keys)
     }
 }

@@ -30,14 +30,17 @@ use crate::map::ConcurrentMap;
 ///
 /// # Batched operations
 ///
-/// [`insert_batch`](ShardedMap::insert_batch),
-/// [`remove_batch`](ShardedMap::remove_batch) and
-/// [`get_batch`](ShardedMap::get_batch) sort a batch, group it by shard,
-/// and run each group under **one** amortized epoch pin
-/// ([`llxscx::guard_cache::with_guard_weighted`]), so a group of `n`
-/// operations pays one pin instead of `n`. Batches are *not* atomic: each
-/// element linearizes individually, in ascending key order per shard
-/// (elements with equal keys keep their batch order).
+/// The façade overrides the trait-level
+/// [`insert_batch`](ConcurrentMap::insert_batch),
+/// [`remove_batch`](ConcurrentMap::remove_batch) and
+/// [`get_batch`](ConcurrentMap::get_batch): a batch is sorted and grouped
+/// by shard, and each group runs whole through the **shard's own** batch
+/// entry point — so a shard type with a native bulk path (the chromatic
+/// tree's sorted-bulk insert with its chunked weighted epoch pins,
+/// `llxscx::guard_cache::with_guard_weighted`) gets the entire group to
+/// amortize over. Batches are *not* atomic: each element linearizes
+/// individually, in ascending key order per shard (elements with equal
+/// keys keep their batch order).
 ///
 /// # Example
 ///
@@ -195,41 +198,31 @@ impl<M> ShardedMap<M> {
 }
 
 impl<M: ConcurrentMap> ShardedMap<M> {
-    /// Inserts a whole batch, returning the displaced value per element in
-    /// input order.
+    /// Shared batch plumbing behind the trait-level
+    /// [`insert_batch`](ConcurrentMap::insert_batch) /
+    /// [`remove_batch`](ConcurrentMap::remove_batch) /
+    /// [`get_batch`](ConcurrentMap::get_batch) overrides: stable-sorts
+    /// element indices by `(shard, key)`, gathers each same-shard run into
+    /// a contiguous group (already in ascending key order, input-order
+    /// ties), executes the whole group through the *shard's own* batch
+    /// entry point, and scatters the per-element results back to input
+    /// positions.
     ///
-    /// The batch is sorted and grouped by shard; each group runs under a
-    /// single amortized epoch pin. Elements linearize individually (a
-    /// batch is not a transaction), in ascending key order within each
-    /// shard; elements with equal keys keep their relative batch order, so
-    /// duplicate keys behave as if inserted in input order.
-    pub fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
-        self.run_grouped(batch, |(k, _)| *k, |shard, (k, v)| shard.insert(*k, *v))
-    }
-
-    /// Removes a whole batch of keys, returning the removed value per key
-    /// in input order. Grouping and ordering as in
-    /// [`insert_batch`](Self::insert_batch).
-    pub fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        self.run_grouped(keys, |k| *k, |shard, k| shard.remove(k))
-    }
-
-    /// Looks up a whole batch of keys, returning the value per key in
-    /// input order. Grouping and ordering as in
-    /// [`insert_batch`](Self::insert_batch) — sorting a read batch also
-    /// turns scattered lookups into shard-local, cache-friendly runs.
-    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        self.run_grouped(keys, |k| *k, |shard, k| shard.get(k))
-    }
-
-    /// Shared batch plumbing: stable-sorts element indices by
-    /// `(shard, key)`, then executes each same-shard run under one
-    /// weighted guard-cache pin, writing results back to input positions.
-    fn run_grouped<T>(
+    /// Delegating the group (instead of looping point ops over it) is
+    /// what stacks the two amortization levels: the façade contributes
+    /// shard grouping, and a shard type with a real bulk path — the
+    /// chromatic tree's sorted-bulk insert — contributes search-path
+    /// prefix reuse and chunked weighted epoch pins on top. Pin
+    /// management deliberately stays with the shard implementation: an
+    /// earlier design held one façade-level pin across the whole group,
+    /// and the resulting batch-long reclamation stall (a garbage wave of
+    /// hundreds of nodes re-entering the allocator cold at the group
+    /// boundary) cost more than the saved pin traffic.
+    fn run_grouped<T: Copy>(
         &self,
         batch: &[T],
         key_of: impl Fn(&T) -> u64,
-        op: impl Fn(&M, &T) -> Option<u64>,
+        run: impl Fn(&M, &[T]) -> Vec<Option<u64>>,
     ) -> Vec<Option<u64>> {
         // Route every element exactly once (the sort below would otherwise
         // rerun the boundary-table binary search O(n log n) times through
@@ -247,6 +240,7 @@ impl<M: ConcurrentMap> ShardedMap<M> {
         // batches have deterministic (input-order) semantics.
         order.sort_by_key(|&(shard, k, _)| (shard, k));
         let mut out = vec![None; batch.len()];
+        let mut group: Vec<T> = Vec::new();
         let mut start = 0;
         while start < order.len() {
             let shard_idx = order[start].0;
@@ -254,15 +248,22 @@ impl<M: ConcurrentMap> ShardedMap<M> {
             while end < order.len() && order[end].0 == shard_idx {
                 end += 1;
             }
-            let group = &order[start..end];
-            let shard = &self.shards[shard_idx];
-            // One pin for the whole group; the weight keeps the repin /
-            // collection cadence proportional to operations, not batches.
-            llxscx::guard_cache::with_guard_weighted(group.len() as u32, |_guard| {
-                for &(_, _, i) in group {
-                    out[i] = op(shard, &batch[i]);
-                }
-            });
+            group.clear();
+            group.extend(order[start..end].iter().map(|&(_, _, i)| batch[i]));
+            let results = run(&self.shards[shard_idx], &group);
+            // The trait contract: one result per element, in input order.
+            // A shard impl that returns a short vector must fail loudly
+            // here, not silently scatter `None` into the unpaired tail.
+            assert_eq!(
+                results.len(),
+                end - start,
+                "shard batch op returned {} results for {} elements",
+                results.len(),
+                end - start
+            );
+            for (&(_, _, i), r) in order[start..end].iter().zip(results) {
+                out[i] = r;
+            }
             start = end;
         }
         out
@@ -298,6 +299,15 @@ impl<M: ConcurrentMap> ConcurrentMap for ShardedMap<M> {
     }
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()
+    }
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        self.run_grouped(batch, |(k, _)| *k, |shard, group| shard.insert_batch(group))
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.run_grouped(keys, |k| *k, |shard, group| shard.remove_batch(group))
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.run_grouped(keys, |k| *k, |shard, group| shard.get_batch(group))
     }
 }
 

@@ -14,6 +14,8 @@ use seqrbt::RbGlobal;
 use sharded::ShardedMap;
 use tinystm::RbStm;
 
+use crate::config::SuiteConfig;
+
 pub use sharded::ConcurrentMap;
 
 /// All registered structure names, in the order figures print them.
@@ -29,32 +31,13 @@ pub const ALL_MAPS: &[&str] = &[
     "sharded",
 ];
 
-/// Key-universe span assumed by the registry's `"sharded"` entry:
-/// `NBTREE_SHARD_SPAN` (default 10 000, the default bench key range). The
-/// boundary table splits `[0, span)` uniformly, so a benchmark sweeping a
-/// different key range should pin this knob to that range — routing is
-/// still *correct* under any span (out-of-span keys land in the last
-/// shard), it just stops spreading load.
-pub fn shard_span() -> u64 {
-    std::env::var("NBTREE_SHARD_SPAN")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .filter(|&s| s > 0)
-        .unwrap_or(10_000)
-}
-
-/// The shard count used by the registry's `"sharded"` entry:
-/// `NBTREE_SHARDS` rounded to a power of two, default 8.
-pub fn shard_count() -> usize {
-    sharded::shards_from_env(8)
-}
-
 /// One chromatic-tree shard of the registry's sharded façade.
 ///
 /// A concrete type rather than `Box<dyn ConcurrentMap>` so the per-shard
-/// hop is a static call: the façade behind `make_map("sharded")` already
-/// costs one virtual dispatch at the trait object boundary, and paying a
-/// second one inside every shard was measurable on the point-op hot path.
+/// hop is a static call: the façade behind `make_map("sharded", ..)`
+/// already costs one virtual dispatch at the trait object boundary, and
+/// paying a second one inside every shard was measurable on the point-op
+/// hot path.
 pub struct ChromaticShard(ChromaticTree<u64, u64>);
 
 impl ConcurrentMap for ChromaticShard {
@@ -76,22 +59,56 @@ impl ConcurrentMap for ChromaticShard {
     fn len(&self) -> usize {
         self.0.len()
     }
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        // The façade hands each per-shard group here whole, so the group
+        // gets the tree's sorted-bulk path (shared search-path prefixes),
+        // not the per-element trait default.
+        self.0.insert_bulk(batch)
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        batched_chunked(keys, |k| self.0.get(k))
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        batched_chunked(keys, |k| self.0.remove(k))
+    }
 }
 
-/// A sharded façade over chromatic-tree shards: `shards` instances
-/// splitting `[0, span)` uniformly. The registry's `"sharded"` entry is
-/// `make_sharded(shard_count(), shard_span())`; benchmarks and tests that
-/// need batched entry points (`insert_batch` & co., which are inherent
-/// methods of [`ShardedMap`], not part of the object-safe trait) build
-/// the concrete type through this constructor.
-pub fn make_sharded(shards: usize, span: u64) -> ShardedMap<ChromaticShard> {
-    ShardedMap::with_span(shards, span.max(shards as u64), |_| {
+/// Chromatic `get_batch` / `remove_batch` plumbing: the key group under
+/// weighted guard-cache pins, chunked at the repin cadence like every
+/// batch path in the suite. A pin spanning an arbitrarily large
+/// caller-controlled group would hold the global epoch back for every
+/// concurrent writer's retirements (and a remove group's own garbage) —
+/// chunking keeps the documented reclamation-lag bound (`REPIN_OPS`
+/// operations plus one chunk) while a 64-op chunk still pays one pin.
+fn batched_chunked(keys: &[u64], op: impl Fn(&u64) -> Option<u64>) -> Vec<Option<u64>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for chunk in keys.chunks(llxscx::guard_cache::REPIN_OPS as usize) {
+        llxscx::guard_cache::with_guard_weighted(chunk.len() as u32, |_guard| {
+            out.extend(chunk.iter().map(&op));
+        });
+    }
+    out
+}
+
+/// A sharded façade over chromatic-tree shards: `cfg.shards()` instances
+/// splitting `[0, cfg.shard_span())` uniformly. The registry's
+/// `"sharded"` entry is `make_sharded(cfg)` behind the trait object;
+/// tests that need the concrete type (per-shard inspection) build it
+/// through this constructor.
+pub fn make_sharded(cfg: &SuiteConfig) -> ShardedMap<ChromaticShard> {
+    let shards = cfg.shards();
+    ShardedMap::with_span(shards, cfg.shard_span().max(shards as u64), |_| {
         ChromaticShard(ChromaticTree::new())
     })
 }
 
 /// Instantiates a map by name; `None` for unknown names.
-pub fn make_map(name: &str) -> Option<Box<dyn ConcurrentMap>> {
+///
+/// All construction-time knobs arrive through the typed [`SuiteConfig`]
+/// (binaries parse the environment into one exactly once, at startup) —
+/// the registry itself never consults the environment, so two sweepers
+/// can no longer disagree about how the same `"sharded"` entry is sized.
+pub fn make_map(name: &str, cfg: &SuiteConfig) -> Option<Box<dyn ConcurrentMap>> {
     Some(match name {
         "chromatic" => Box::new(NamedChromatic {
             inner: ChromaticTree::new(),
@@ -107,7 +124,7 @@ pub fn make_map(name: &str) -> Option<Box<dyn ConcurrentMap>> {
         "lockavl" => Box::new(LockAvlMap(lockavl::LockAvl::new())),
         "rbstm" => Box::new(RbStmMap(RbStm::new())),
         "rbglobal" => Box::new(RbGlobalMap(RbGlobal::new())),
-        "sharded" => Box::new(make_sharded(shard_count(), shard_span())),
+        "sharded" => Box::new(make_sharded(cfg)),
         _ => return None,
     })
 }
@@ -135,6 +152,15 @@ impl ConcurrentMap for NamedChromatic {
     }
     fn len(&self) -> usize {
         self.inner.len()
+    }
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        self.inner.insert_bulk(batch)
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        batched_chunked(keys, |k| self.inner.get(k))
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        batched_chunked(keys, |k| self.inner.remove(k))
     }
 }
 

@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod config;
 
-pub use adapters::{make_map, make_sharded, shard_count, shard_span, ConcurrentMap, ALL_MAPS};
+pub use adapters::{make_map, make_sharded, ConcurrentMap, ALL_MAPS};
+pub use config::SuiteConfig;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,8 +20,9 @@ use std::time::{Duration, Instant};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// An operation mix: percentages of inserts, deletes and range scans (the
-/// remainder are lookups). The paper's mixes are 50i-50d, 20i-10d and
-/// 0i-0d; range scans extend the scenario axis beyond the paper.
+/// remainder are lookups), plus the *batch* knob. The paper's mixes are
+/// 50i-50d, 20i-10d and 0i-0d; range scans and batched execution extend
+/// the scenario axis beyond the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Mix {
     /// Percent of operations that are `insert`.
@@ -31,10 +34,17 @@ pub struct Mix {
     /// Width of each range scan in key space: a scan starting at `k`
     /// covers `[k, k + range_width)`. Ignored when `ranges == 0`.
     pub range_width: u64,
+    /// Operations per batch. `1` (the default) drives point ops; `n > 1`
+    /// makes [`run_trial`] issue the trait-level batch entry points
+    /// (`insert_batch` / `remove_batch` / `get_batch`) with `n` uniform
+    /// random keys per call, each call counting as `n` operations — so
+    /// Mops/s stays comparable with point-op runs. See
+    /// [`with_batch`](Mix::with_batch).
+    pub batch: u32,
 }
 
 impl Mix {
-    /// The paper's three mixes (no range component).
+    /// The paper's three mixes (no range component, point ops).
     pub const ALL: [Mix; 3] = [
         Mix::updates(50, 50),
         Mix::updates(20, 10),
@@ -50,6 +60,7 @@ impl Mix {
             deletes,
             ranges: 0,
             range_width: 0,
+            batch: 1,
         }
     }
 
@@ -61,14 +72,34 @@ impl Mix {
             "mix percentages exceed 100"
         );
         assert!(width > 0, "range width must be positive");
+        assert!(
+            self.batch <= 1,
+            "range scans have no batched entry point; set ranges before batch"
+        );
         self.ranges = percent;
         self.range_width = width;
         self
     }
 
+    /// Batches the mix: [`run_trial`] workers draw one op kind per batch
+    /// (with this mix's percentages) and execute it through the
+    /// trait-level batch entry points, `n` uniform random keys per call
+    /// (`xi-yd-bn` notation). `n = 1` restores point ops. Incompatible
+    /// with range scans, which have no batched entry point.
+    pub const fn with_batch(mut self, n: u32) -> Mix {
+        assert!(n >= 1, "batch size must be at least 1");
+        assert!(
+            self.ranges == 0 || n == 1,
+            "range scans have no batched entry point"
+        );
+        self.batch = n;
+        self
+    }
+
     /// `xi-yd` label as used in the paper, extended to `xi-yd-zr` when the
-    /// mix includes range scans (pure-update labels are unchanged so
-    /// existing artifacts keep their keys).
+    /// mix includes range scans and suffixed `-bn` when it is batched
+    /// (pure-update point labels are unchanged so existing artifacts keep
+    /// their keys).
     ///
     /// Allocation-free: formats into a fixed inline buffer. The previous
     /// `String`-returning version was called from measurement loops and put
@@ -88,6 +119,11 @@ impl Mix {
             out.push_u32(self.ranges);
             out.push_byte(b'r');
         }
+        if self.batch > 1 {
+            out.push_byte(b'-');
+            out.push_byte(b'b');
+            out.push_u32(self.batch);
+        }
         out
     }
 
@@ -104,9 +140,9 @@ impl Mix {
     }
 }
 
-/// Capacity of [`MixLabel`]'s inline buffer (`"100i-100d-100r"` is 14
-/// bytes).
-const MIX_LABEL_CAP: usize = 16;
+/// Capacity of [`MixLabel`]'s inline buffer
+/// (`"100i-100d-100r-b4294967295"` is 26 bytes).
+const MIX_LABEL_CAP: usize = 28;
 
 /// A stack-allocated `xi-yd` mix label; dereferences to `str`.
 #[derive(Clone, Copy)]
@@ -197,6 +233,13 @@ impl TrialResult {
 
 /// Runs one timed trial: `threads` workers each executing the `mix` on
 /// uniform random keys in `[0, range)` for `duration`.
+///
+/// With `mix.batch > 1` the workers drive the trait-level batch entry
+/// points instead of point ops: each iteration draws one op kind (same
+/// percentages), fills a reused buffer with `batch` uniform random keys,
+/// and issues a single `insert_batch` / `remove_batch` / `get_batch` that
+/// counts as `batch` operations — the standard harness path for measuring
+/// batching, replacing the bespoke batch loops benches used to carry.
 pub fn run_trial(
     map: &(dyn ConcurrentMap + Sync),
     threads: usize,
@@ -205,6 +248,10 @@ pub fn run_trial(
     duration: Duration,
     seed: u64,
 ) -> TrialResult {
+    assert!(
+        mix.ranges == 0 || mix.batch <= 1,
+        "range scans have no batched entry point"
+    );
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
     // Keep thread spawning and per-thread RNG construction out of the timed
@@ -220,29 +267,60 @@ pub fn run_trial(
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ ((tid as u64) << 32) | tid as u64);
                 let mut ops = 0u64;
-                start_gate.wait();
-                while !stop.load(Ordering::Relaxed) {
-                    // Batch the stop check to keep the loop tight.
-                    for _ in 0..64 {
-                        let k = rng.gen_range(0..range);
+                if mix.batch > 1 {
+                    // Batched flavor: buffers are reused across calls so
+                    // the timed region measures the batch entry points,
+                    // not allocator traffic.
+                    let b = mix.batch as usize;
+                    let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(b);
+                    let mut keys: Vec<u64> = Vec::with_capacity(b);
+                    start_gate.wait();
+                    while !stop.load(Ordering::Relaxed) {
                         let dice = rng.gen_range(0..100);
                         if dice < mix.inserts {
-                            map.insert(k, k);
+                            pairs.clear();
+                            pairs.extend((0..b).map(|_| {
+                                let k = rng.gen_range(0..range);
+                                (k, k)
+                            }));
+                            std::hint::black_box(map.insert_batch(&pairs));
                         } else if dice < mix.inserts + mix.deletes {
-                            map.remove(&k);
-                        } else if dice < mix.inserts + mix.deletes + mix.ranges {
-                            // A scan of `range_width` keys starting at `k`
-                            // counts as ONE operation: Mops/s for range
-                            // mixes measures scans, not keys touched.
-                            // Saturating at both ends: the pub fields allow
-                            // a hand-built Mix with width 0 (empty scan),
-                            // which must not underflow into a full-map scan.
-                            let hi = k.saturating_add(mix.range_width).saturating_sub(1);
-                            std::hint::black_box(map.range(k, hi));
+                            keys.clear();
+                            keys.extend((0..b).map(|_| rng.gen_range(0..range)));
+                            std::hint::black_box(map.remove_batch(&keys));
                         } else {
-                            map.get(&k);
+                            keys.clear();
+                            keys.extend((0..b).map(|_| rng.gen_range(0..range)));
+                            std::hint::black_box(map.get_batch(&keys));
                         }
-                        ops += 1;
+                        ops += b as u64;
+                    }
+                } else {
+                    start_gate.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        // Batch the stop check to keep the loop tight.
+                        for _ in 0..64 {
+                            let k = rng.gen_range(0..range);
+                            let dice = rng.gen_range(0..100);
+                            if dice < mix.inserts {
+                                map.insert(k, k);
+                            } else if dice < mix.inserts + mix.deletes {
+                                map.remove(&k);
+                            } else if dice < mix.inserts + mix.deletes + mix.ranges {
+                                // A scan of `range_width` keys starting at
+                                // `k` counts as ONE operation: Mops/s for
+                                // range mixes measures scans, not keys
+                                // touched. Saturating at both ends: the pub
+                                // fields allow a hand-built Mix with width 0
+                                // (empty scan), which must not underflow
+                                // into a full-map scan.
+                                let hi = k.saturating_add(mix.range_width).saturating_sub(1);
+                                std::hint::black_box(map.range(k, hi));
+                            } else {
+                                map.get(&k);
+                            }
+                            ops += 1;
+                        }
                     }
                 }
                 total.fetch_add(ops, Ordering::Relaxed);
@@ -260,10 +338,14 @@ pub fn run_trial(
 }
 
 /// Runs `trials` trials (fresh prefilled map each time) and returns the
-/// mean Mops/s together with the individual results.
+/// mean Mops/s together with the individual results. Maps are built
+/// exclusively through `make_map(name, cfg)`, so the caller's
+/// [`SuiteConfig`] — not the environment at call time — determines how
+/// the `"sharded"` entry is sized.
 #[allow(clippy::too_many_arguments)]
 pub fn measure(
     name: &str,
+    cfg: &SuiteConfig,
     threads: usize,
     mix: Mix,
     range: u64,
@@ -273,7 +355,7 @@ pub fn measure(
 ) -> (f64, Vec<TrialResult>) {
     let mut results = Vec::with_capacity(trials);
     for t in 0..trials {
-        let map = make_map(name).unwrap_or_else(|| panic!("unknown map {name}"));
+        let map = make_map(name, cfg).unwrap_or_else(|| panic!("unknown map {name}"));
         prefill(map.as_ref(), range, mix, seed + t as u64);
         let r = run_trial(
             map.as_ref(),
@@ -332,18 +414,15 @@ pub fn check_against_model(map: &dyn ConcurrentMap, seed: u64, ops: u64, range: 
     }
 }
 
-/// Oracle check for the sharded façade's batched entry points: applies
-/// random interleaved batches (insert/remove/get) and point ops to a
-/// [`sharded::ShardedMap`] and to `BTreeMap`, asserting identical per-item
-/// results in input order. Mirrors the façade's documented duplicate-key
+/// Oracle check for the trait-level batched entry points: applies random
+/// interleaved batches (insert/remove/get) and point ops to any
+/// [`ConcurrentMap`] and to `BTreeMap`, asserting identical per-item
+/// results in input order. Mirrors the trait's documented duplicate-key
 /// semantics (a batch behaves like sequential input-order application),
-/// so the model is simply "apply the batch one element at a time".
-pub fn check_batches_against_model<M: ConcurrentMap>(
-    map: &sharded::ShardedMap<M>,
-    seed: u64,
-    batches: u64,
-    range: u64,
-) {
+/// so the model is simply "apply the batch one element at a time" — valid
+/// for the per-element defaults, the façade's shard grouping and the
+/// chromatic tree's sorted-bulk override alike.
+pub fn check_batches_against_model(map: &dyn ConcurrentMap, seed: u64, batches: u64, range: u64) {
     use std::collections::BTreeMap;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = BTreeMap::new();
@@ -382,11 +461,11 @@ pub fn check_batches_against_model<M: ConcurrentMap>(
     assert_eq!(map.len(), model.len());
 }
 
-/// Convenience: construct every registered map.
-pub fn all_maps() -> Vec<Arc<dyn ConcurrentMap>> {
+/// Convenience: construct every registered map under one [`SuiteConfig`].
+pub fn all_maps(cfg: &SuiteConfig) -> Vec<Arc<dyn ConcurrentMap>> {
     ALL_MAPS
         .iter()
-        .map(|n| Arc::<dyn ConcurrentMap>::from(make_map(n).unwrap()))
+        .map(|n| Arc::<dyn ConcurrentMap>::from(make_map(n, cfg).unwrap()))
         .collect()
 }
 
@@ -396,8 +475,9 @@ mod tests {
 
     #[test]
     fn every_registered_map_matches_model() {
+        let cfg = SuiteConfig::default();
         for name in ALL_MAPS {
-            let map = make_map(name).unwrap();
+            let map = make_map(name, &cfg).unwrap();
             check_against_model(map.as_ref(), 7, 3000, 128);
         }
     }
@@ -406,13 +486,25 @@ mod tests {
     fn sharded_batches_match_model() {
         // Boundaries at 32/64/96: a range of 128 keys over 4 shards keeps
         // every batch and scan straddling shard boundaries.
-        let map = make_sharded(4, 128);
+        let map = make_sharded(&SuiteConfig::default().with_shards(4).with_span(128));
         check_batches_against_model(&map, 11, 400, 128);
     }
 
     #[test]
+    fn trait_batches_match_model_on_every_registered_map() {
+        // The same oracle, through the trait object — covers the
+        // per-element defaults and both overrides (façade + chromatic
+        // sorted-bulk).
+        let cfg = SuiteConfig::default().with_shards(4).with_span(128);
+        for name in ALL_MAPS {
+            let map = make_map(name, &cfg).unwrap();
+            check_batches_against_model(map.as_ref(), 13, 150, 128);
+        }
+    }
+
+    #[test]
     fn prefill_reaches_expected_size() {
-        let map = make_map("chromatic").unwrap();
+        let map = make_map("chromatic", &SuiteConfig::default()).unwrap();
         prefill(map.as_ref(), 1000, Mix::updates(50, 50), 3);
         let n = map.len();
         assert!((450..=550).contains(&n), "prefilled size {n}");
@@ -420,7 +512,7 @@ mod tests {
 
     #[test]
     fn trial_counts_operations() {
-        let map = make_map("skiplist").unwrap();
+        let map = make_map("skiplist", &SuiteConfig::default()).unwrap();
         prefill(map.as_ref(), 1000, Mix::updates(20, 10), 3);
         let r = run_trial(
             map.as_ref(),
@@ -436,12 +528,26 @@ mod tests {
 
     #[test]
     fn trial_with_range_component_runs_on_every_map() {
+        let cfg = SuiteConfig::default().for_key_range(500);
         for name in ALL_MAPS {
-            let map = make_map(name).unwrap();
+            let map = make_map(name, &cfg).unwrap();
             let mix = Mix::updates(20, 10).with_ranges(20, 32);
             prefill(map.as_ref(), 500, mix, 3);
             let r = run_trial(map.as_ref(), 2, mix, 500, Duration::from_millis(50), 11);
             assert!(r.ops > 0, "{name} performed no operations");
+        }
+    }
+
+    #[test]
+    fn batched_trial_runs_and_counts_batch_sized_ops() {
+        let cfg = SuiteConfig::default().for_key_range(1000);
+        for name in ["chromatic", "sharded"] {
+            let map = make_map(name, &cfg).unwrap();
+            let mix = Mix::updates(50, 50).with_batch(16);
+            prefill(map.as_ref(), 1000, mix, 3);
+            let r = run_trial(map.as_ref(), 2, mix, 1000, Duration::from_millis(50), 11);
+            assert!(r.ops > 0, "{name} performed no operations");
+            assert_eq!(r.ops % 16, 0, "{name}: ops must come in whole batches");
         }
     }
 
@@ -455,6 +561,15 @@ mod tests {
         assert_eq!(
             Mix::updates(0, 0).with_ranges(100, 1).label().as_str(),
             "0i-0d-100r"
+        );
+        assert_eq!(
+            Mix::updates(50, 50).with_batch(64).label().as_str(),
+            "50i-50d-b64"
+        );
+        assert_eq!(
+            Mix::updates(100, 0).with_batch(1).label().as_str(),
+            "100i-0d",
+            "batch 1 is the point flavor and keeps the point label"
         );
     }
 

@@ -5,9 +5,10 @@
 //! prescribes for skewed keyspaces.
 //!
 //! Each worker builds a request batch, then executes it through the
-//! batched entry points: the façade sorts the batch, groups it by shard,
-//! and runs every group under one amortized epoch pin, so a 64-request
-//! batch pays one pin instead of 64.
+//! trait-level batched entry points: the façade sorts the batch, groups
+//! it by shard, and hands each group whole to the shard's own batch
+//! implementation — reads run under one amortized epoch pin per group,
+//! writes take the chromatic sorted-bulk path with chunked pins.
 //!
 //! ```sh
 //! cargo run --release --example sharded_service
@@ -33,7 +34,9 @@ fn sample_key(rng: &mut StdRng) -> u64 {
 
 fn main() {
     let workers = 8;
-    let shards = sharded::shards_from_env(8);
+    // Suite-construction knobs (NBTREE_SHARDS here) arrive through the
+    // typed config, parsed once at startup.
+    let shards = workload::SuiteConfig::from_env().shards();
     let batch_size = 64;
     let run_for = Duration::from_millis(
         std::env::var("NBTREE_BENCH_SECS")
@@ -49,7 +52,7 @@ fn main() {
     let sample: Vec<u64> = (0..10_000).map(|_| sample_key(&mut rng)).collect();
     let map: Arc<ShardedMap<Box<dyn ConcurrentMap>>> =
         Arc::new(ShardedMap::from_sample(shards, &sample, |_| {
-            workload::make_map("chromatic").expect("registered")
+            workload::make_map("chromatic", &workload::SuiteConfig::default()).expect("registered")
         }));
     println!(
         "sharded service: {shards} chromatic shards, learned boundaries {:?}",

@@ -2,12 +2,22 @@
 //! same scripted workloads, semantic equivalence between structures, and
 //! template-level properties that span llxscx + nbtree.
 
-use workload::{check_against_model, make_map, ALL_MAPS};
+use workload::{check_against_model, make_map, SuiteConfig, ALL_MAPS};
+
+/// One config for every test in this file: the scripted workloads use
+/// small key ranges, so the sharded entry's boundary table is sized to
+/// match (the typed-config equivalent of what the bench bins do).
+fn cfg() -> SuiteConfig {
+    SuiteConfig::default().with_span(256)
+}
 
 #[test]
 fn all_structures_agree_on_scripted_workload() {
     use rand::{rngs::StdRng, Rng, SeedableRng};
-    let maps: Vec<_> = ALL_MAPS.iter().map(|n| make_map(n).unwrap()).collect();
+    let maps: Vec<_> = ALL_MAPS
+        .iter()
+        .map(|n| make_map(n, &cfg()).unwrap())
+        .collect();
     let mut rng = StdRng::seed_from_u64(1234);
     for step in 0..4000u64 {
         let k = rng.gen_range(0..200u64);
@@ -48,8 +58,115 @@ fn all_structures_agree_on_scripted_workload() {
 #[test]
 fn each_structure_matches_btreemap() {
     for name in ALL_MAPS {
-        let map = make_map(name).unwrap();
+        let map = make_map(name, &cfg()).unwrap();
         check_against_model(map.as_ref(), 5, 5000, 300);
+    }
+}
+
+#[test]
+fn trait_batch_ops_match_per_element_application_on_every_structure() {
+    // The batch-equivalence oracle: on every registered structure
+    // (including `sharded`, whose override regroups by shard, and the
+    // chromatic entries, whose override is the sorted-bulk insert), the
+    // trait-level batch entry points must return exactly what sequential
+    // per-element application returns — displaced values in input order,
+    // duplicate keys resolving in batch order — and leave identical
+    // contents behind.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    for name in ALL_MAPS {
+        let batched = make_map(name, &cfg()).unwrap();
+        let pointwise = make_map(name, &cfg()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4242);
+        for round in 0..150u64 {
+            let len = rng.gen_range(0..40usize);
+            match rng.gen_range(0..3) {
+                0 => {
+                    // Small key range: plenty of in-batch duplicates.
+                    let batch: Vec<(u64, u64)> = (0..len)
+                        .map(|i| (rng.gen_range(0..200), round * 100 + i as u64))
+                        .collect();
+                    let expect: Vec<_> =
+                        batch.iter().map(|&(k, v)| pointwise.insert(k, v)).collect();
+                    assert_eq!(
+                        batched.insert_batch(&batch),
+                        expect,
+                        "{name} insert_batch {batch:?}"
+                    );
+                }
+                1 => {
+                    let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..200)).collect();
+                    let expect: Vec<_> = keys.iter().map(|k| pointwise.remove(k)).collect();
+                    assert_eq!(
+                        batched.remove_batch(&keys),
+                        expect,
+                        "{name} remove_batch {keys:?}"
+                    );
+                }
+                _ => {
+                    let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..200)).collect();
+                    let expect: Vec<_> = keys.iter().map(|k| pointwise.get(k)).collect();
+                    assert_eq!(
+                        batched.get_batch(&keys),
+                        expect,
+                        "{name} get_batch {keys:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            batched.range(0, u64::MAX),
+            pointwise.range(0, u64::MAX),
+            "{name}: final contents diverged"
+        );
+        // And the model-based flavor of the same oracle.
+        let map = make_map(name, &cfg()).unwrap();
+        workload::check_batches_against_model(map.as_ref(), 17, 120, 200);
+    }
+}
+
+#[test]
+fn concurrent_batch_writers_settle_like_point_writers() {
+    // Batched and point execution of the same striped workload must agree
+    // on the final state on every structure (each stripe is
+    // single-writer, so the end state is deterministic). This is the
+    // concurrent half of the batch oracle and runs under TSan in CI.
+    use std::sync::Arc;
+    for name in ALL_MAPS {
+        let maps: Vec<Arc<dyn workload::ConcurrentMap>> = vec![
+            Arc::from(make_map(name, &cfg()).unwrap()),
+            Arc::from(make_map(name, &cfg()).unwrap()),
+        ];
+        for (flavor, map) in maps.iter().enumerate() {
+            std::thread::scope(|s| {
+                for tid in 0..4u64 {
+                    let map = Arc::clone(map);
+                    s.spawn(move || {
+                        let base = tid * 1000;
+                        for round in 0..8u64 {
+                            let batch: Vec<(u64, u64)> =
+                                (0..125).map(|i| (base + (round * 125 + i), i)).collect();
+                            let dels: Vec<u64> = batch.iter().step_by(3).map(|&(k, _)| k).collect();
+                            if flavor == 0 {
+                                map.insert_batch(&batch);
+                                map.remove_batch(&dels);
+                            } else {
+                                for &(k, v) in &batch {
+                                    map.insert(k, v);
+                                }
+                                for k in &dels {
+                                    map.remove(k);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(
+            maps[0].range(0, u64::MAX),
+            maps[1].range(0, u64::MAX),
+            "{name}: batched and point writers diverged"
+        );
     }
 }
 
@@ -60,7 +177,7 @@ fn concurrent_cross_structure_consistency() {
     use std::sync::Arc;
     let mut finals = Vec::new();
     for name in ALL_MAPS {
-        let map: Arc<dyn workload::ConcurrentMap> = Arc::from(make_map(name).unwrap());
+        let map: Arc<dyn workload::ConcurrentMap> = Arc::from(make_map(name, &cfg()).unwrap());
         std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let map = Arc::clone(&map);
@@ -95,7 +212,7 @@ fn concurrent_range_scans_hold_weak_properties_on_every_structure() {
     const CHURN_LO: u64 = 1000; // churn keys: [1000, 2000)
     const CHURN_HI: u64 = 2000;
     for name in ALL_MAPS {
-        let map: Arc<dyn workload::ConcurrentMap> = Arc::from(make_map(name).unwrap());
+        let map: Arc<dyn workload::ConcurrentMap> = Arc::from(make_map(name, &cfg()).unwrap());
         for k in (0..CHURN_LO).step_by(10) {
             map.insert(k, k); // permanent prefix
         }

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use sharded::{ConcurrentMap, ShardedMap};
-use workload::make_sharded;
+use workload::{make_sharded, SuiteConfig};
 
 /// Pair layout, mirroring `range_stress.rs`: pair `i` is
 /// `(base, base + SPREAD)` with a permanent key at `base + 1`. STRIDE
@@ -110,7 +110,9 @@ fn check_snapshot<M: ConcurrentMap>(map: &ShardedMap<M>, snap: &[(u64, u64)], lo
 /// (previously-present members) — between the two calls both members are
 /// present, so the ≥ 1 invariant holds at every instant.
 fn pair_invariant_stress(batched: bool) {
-    let map = Arc::new(make_sharded(SHARDS, SPAN));
+    let map = Arc::new(make_sharded(
+        &SuiteConfig::default().with_shards(SHARDS).with_span(SPAN),
+    ));
     assert_eq!(map.shard_count(), SHARDS);
     for i in 0..PAIRS {
         map.insert(permanent(i), i);
@@ -199,7 +201,9 @@ fn stitched_scans_are_atomic_per_shard_under_batched_writers() {
 #[test]
 fn batched_storm_settles_to_consistent_shards() {
     use rand::{rngs::StdRng, Rng, SeedableRng};
-    let map = Arc::new(make_sharded(8, 4096));
+    let map = Arc::new(make_sharded(
+        &SuiteConfig::default().with_shards(8).with_span(4096),
+    ));
     std::thread::scope(|s| {
         for tid in 0..4u64 {
             let map = Arc::clone(&map);
