@@ -1,0 +1,112 @@
+//! Machine-readable point-op tier snapshot: the paper's operation mixes
+//! on the chromatic tree vs. the hopscotch hash map (`hashmap`) vs. the
+//! sharded hash+tree composition (`hybrid`) across a thread sweep,
+//! recorded as one labeled run in `BENCH_hash.json` (same label-merge
+//! behavior as `bench_fig8` / `bench_shard`).
+//!
+//! This is the experiment behind `docs/HASHING.md`: a comparison-free
+//! bounded-probe table should beat the tree on point lookups — the
+//! read-only mix is the headline cell — while the hybrid pays one extra
+//! write per mutation for tree-backed ranges and should stay within a
+//! small constant of the pure hash map on point mixes.
+//!
+//! Knobs: `NBTREE_BENCH_SECS`, `NBTREE_BENCH_TRIALS`,
+//! `NBTREE_BENCH_THREADS` (default `1,2,4,8`), `NBTREE_BENCH_RANGES`
+//! (first entry is the key range; default 10000); `--label NAME`,
+//! `--out PATH` (default `BENCH_hash.json`).
+
+use bench::json::Json;
+use bench::{bench_threads, first_key_range, trial_duration, trials};
+use workload::{measure, Mix, SuiteConfig};
+
+/// Structures swept: the tree baseline, the hash tier, the composition.
+const STRUCTURES: [&str; 3] = ["chromatic", "hashmap", "hybrid"];
+
+fn main() {
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_hash.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_hash [--label NAME] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let duration = trial_duration();
+    let n_trials = trials();
+    let threads = bench_threads(&[1, 2, 4, 8]);
+    let range = first_key_range();
+    // The hybrid routes through the sharding façade: size its boundary
+    // table to the swept key range, like bench_shard does.
+    let cfg = SuiteConfig::from_env().for_key_range(range);
+
+    eprintln!(
+        "# bench_hash: label={label} range={range} threads={threads:?} \
+         {n_trials} trial(s) x {duration:?}"
+    );
+
+    let mut results = Vec::new();
+    for structure in STRUCTURES {
+        for mix in Mix::ALL {
+            let mix_label = mix.label();
+            for &t in &threads {
+                let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
+                eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
+                results.push(Json::obj(vec![
+                    ("structure", Json::Str(structure.to_string())),
+                    ("mix", Json::Str(mix_label.to_string())),
+                    ("threads", Json::Num(t as f64)),
+                    ("mops", Json::Num(mops)),
+                ]));
+            }
+        }
+    }
+
+    let mops_of = |structure: &str, mix_label: &str, t: usize| {
+        results
+            .iter()
+            .find(|r| {
+                r.get("structure").and_then(Json::as_str) == Some(structure)
+                    && r.get("mix").and_then(Json::as_str) == Some(mix_label)
+                    && r.get("threads").and_then(Json::as_f64) == Some(t as f64)
+            })
+            .and_then(|r| r.get("mops").and_then(Json::as_f64))
+            .unwrap_or(f64::NAN)
+    };
+
+    // The two ratios the acceptance gate reads: hash tier over the tree
+    // (point-op win) and hybrid over the hash tier (composition tax).
+    for mix in Mix::ALL {
+        let mix_label = mix.label();
+        for &t in &threads {
+            let tree = mops_of("chromatic", &mix_label, t);
+            let hash = mops_of("hashmap", &mix_label, t);
+            let hybrid = mops_of("hybrid", &mix_label, t);
+            eprintln!(
+                "  speedup {mix_label} threads={t}: hashmap/chromatic = {:.2}x, \
+                 hybrid/hashmap = {:.2}x",
+                hash / tree,
+                hybrid / hash
+            );
+        }
+    }
+
+    let run = Json::obj(vec![
+        ("label", Json::Str(label.clone())),
+        ("range", Json::Num(range as f64)),
+        ("duration_secs", Json::Num(duration.as_secs_f64())),
+        ("trials", Json::Num(n_trials as f64)),
+        ("results", Json::Arr(results)),
+    ]);
+
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let doc = bench::json::merge_labeled_run(existing.as_deref(), "bench_hash/v1", &label, run);
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH_hash.json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,98 @@
+//! The map's default hasher: a deterministic multiply-rotate hash (the
+//! `fxhash` family) with a final avalanche.
+//!
+//! Determinism is a feature here, not a compromise: the whole test
+//! pyramid replays scripted workloads against model oracles, and a
+//! per-instance random seed (as in `std`'s `RandomState`) would make
+//! table layout — and therefore displacement/resize schedules —
+//! unreproducible between a failing run and its rerun. The suite stores
+//! `u64` keys from benchmark-controlled distributions, so HashDoS
+//! resistance buys nothing; callers that do want seeded hashing pass
+//! their own [`BuildHasher`] to
+//! [`HopMap::with_hasher`](crate::HopMap::with_hasher).
+//!
+//! The final avalanche matters because the map derives a key's home
+//! bucket from the *low* bits of the hash (`hash & (capacity - 1)`), and
+//! a bare multiply pushes most of its entropy into the high bits —
+//! sequential keys would otherwise stride through the table in lockstep.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// The `fxhash` multiplier (a 64-bit prime close to 2^64 / φ).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate streaming hasher; see the module docs for why the
+/// suite prefers a deterministic hash.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        // Finalizer (splitmix64-style): spread the multiplied state's
+        // entropy back down into the low bits the table indexes by.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state.rotate_left(5) ^ n).wrapping_mul(SEED);
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`]: stateless, so every map instance
+/// (and every rerun) hashes identically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one(k: u64) -> u64 {
+        FxBuildHasher.hash_one(k)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(12345), hash_one(12345));
+        assert_ne!(hash_one(1), hash_one(2));
+    }
+
+    #[test]
+    fn sequential_keys_spread_in_the_low_bits() {
+        // The home bucket is `hash & (cap - 1)`; sequential keys must not
+        // collapse into a handful of buckets.
+        let mask = 1023u64;
+        let mut buckets = std::collections::HashSet::new();
+        for k in 0..1024u64 {
+            buckets.insert(hash_one(k) & mask);
+        }
+        assert!(
+            buckets.len() > 600,
+            "only {} distinct buckets for 1024 sequential keys",
+            buckets.len()
+        );
+    }
+}

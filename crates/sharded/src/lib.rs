@@ -38,5 +38,5 @@
 pub mod map;
 pub mod shard;
 
-pub use map::ConcurrentMap;
+pub use map::{ConcurrentMap, RangeTier};
 pub use shard::ShardedMap;

@@ -7,6 +7,32 @@
 //! `workload ↔ sharded` dependency cycle. `workload` re-exports it under
 //! the old path, so `workload::ConcurrentMap` keeps working.
 
+/// How much atomicity a structure's [`range`](ConcurrentMap::range)
+/// guarantees — the contract the model oracles are allowed to assert.
+///
+/// The suite long had exactly one implicit tier ("atomic snapshot"),
+/// with the skip list grandfathered in by never being sequentially
+/// distinguishable from one. Making the tier explicit lets
+/// `workload::check_against_model` assert exactly what each structure
+/// promises, so a new per-key-linearizable structure (the hash tier,
+/// the hybrid shard) doesn't inherit a too-strong assertion it would
+/// only pass by accident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RangeTier {
+    /// The scan is a single atomic snapshot (the VLX-validated trees,
+    /// the lock- and STM-based baselines).
+    Atomic,
+    /// Each shard's slice of the scan is atomic, but slices from
+    /// different shards may reflect different instants (the sharded
+    /// façade over atomic shards).
+    PerShardAtomic,
+    /// Only per-key linearizable: sorted, duplicate-free, no phantoms,
+    /// and no missed key that was present for the whole scan — but keys
+    /// may be observed at different instants (skip list, hash map,
+    /// hybrid).
+    PerKeyLinearizable,
+}
+
 /// Object-safe concurrent map interface used by the harness. Keys and
 /// values are fixed to `u64` as in the paper's experiments.
 pub trait ConcurrentMap: Send + Sync {
@@ -29,6 +55,13 @@ pub trait ConcurrentMap: Send + Sync {
     /// `sharded` stitches per-shard atomic scans into a per-shard
     /// linearizable result (see the `sharded` crate docs).
     fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)>;
+    /// The atomicity scope of [`range`](Self::range); what the model
+    /// oracles may assert about a scan. Defaults to the **weakest** tier
+    /// so a new structure must opt *in* to the strong assertion, never
+    /// inherit it (see [`RangeTier`]).
+    fn range_tier(&self) -> RangeTier {
+        RangeTier::PerKeyLinearizable
+    }
     /// O(n) size snapshot.
     fn len(&self) -> usize;
     /// Whether the map holds no keys (same caveats as [`len`](Self::len)).
@@ -92,6 +125,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
     }
     fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         (**self).range(lo, hi)
+    }
+    fn range_tier(&self) -> RangeTier {
+        (**self).range_tier()
     }
     fn len(&self) -> usize {
         (**self).len()

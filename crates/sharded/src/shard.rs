@@ -83,6 +83,11 @@ pub struct ShardedMap<M> {
     /// `shards.len() - 1` sorted split points; `boundaries[i]` is the
     /// smallest key owned by shard `i + 1`.
     boundaries: Box<[u64]>,
+    /// Registry name reported by [`ConcurrentMap::name`]; `"sharded"`
+    /// unless overridden with [`named`](Self::named). Heterogeneous
+    /// compositions (the `"hybrid"` registry entry, a façade over
+    /// hash+tree shards) need their own name in figures and oracles.
+    name: &'static str,
 }
 
 impl<M> ShardedMap<M> {
@@ -107,7 +112,18 @@ impl<M> ShardedMap<M> {
         ShardedMap {
             shards: (0..shards).map(&mut factory).collect(),
             boundaries: boundaries.into_boxed_slice(),
+            name: "sharded",
         }
+    }
+
+    /// Overrides the name this façade reports through
+    /// [`ConcurrentMap::name`] (builder-style). Registry entries that
+    /// compose the façade over something other than the default shard
+    /// type — like `"hybrid"` — use this so figures, oracles and error
+    /// messages name the composition, not the plumbing.
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
     }
 
     /// `shards` instances (a power of two) splitting the *full* `u64`
@@ -178,11 +194,22 @@ impl<M> ShardedMap<M> {
         &self.boundaries
     }
 
-    /// Index of the shard owning `k`: a wait-free binary search of the
-    /// immutable boundary table.
+    /// Index of the shard owning `k`: a wait-free search of the immutable
+    /// boundary table.
+    ///
+    /// For the shard counts the suite actually deploys (≤ 16 shards, so
+    /// ≤ 15 boundaries) a branchless linear count beats binary search:
+    /// the comparisons pipeline with no data-dependent branches, where
+    /// `partition_point` takes a misprediction per probe on random keys.
+    /// Both forms compute the number of boundaries ≤ `k`, which on a
+    /// strictly increasing table is the same index.
     #[inline]
     pub fn shard_of(&self, k: u64) -> usize {
-        self.boundaries.partition_point(|&b| b <= k)
+        if self.boundaries.len() <= 16 {
+            self.boundaries.iter().map(|&b| usize::from(b <= k)).sum()
+        } else {
+            self.boundaries.partition_point(|&b| b <= k)
+        }
     }
 
     /// The shard instance at `idx` (for per-shard inspection — stats,
@@ -272,7 +299,7 @@ impl<M: ConcurrentMap> ShardedMap<M> {
 
 impl<M: ConcurrentMap> ConcurrentMap for ShardedMap<M> {
     fn name(&self) -> &'static str {
-        "sharded"
+        self.name
     }
     fn insert(&self, k: u64, v: u64) -> Option<u64> {
         self.shards[self.shard_of(k)].insert(k, v)
@@ -296,6 +323,15 @@ impl<M: ConcurrentMap> ConcurrentMap for ShardedMap<M> {
             out.extend(self.shards[idx].range(lo, hi));
         }
         out
+    }
+    fn range_tier(&self) -> crate::RangeTier {
+        // Stitching per-shard scans weakens an atomic shard to
+        // per-shard atomicity; an already-weaker shard tier passes
+        // through unchanged (the façade can't strengthen it).
+        match self.shards[0].range_tier() {
+            crate::RangeTier::Atomic => crate::RangeTier::PerShardAtomic,
+            tier => tier,
+        }
     }
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()

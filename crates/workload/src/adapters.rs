@@ -6,17 +6,19 @@
 //! module provides the implementations for every structure plus the
 //! `make_map` registry.
 
+use hashmap::HopMap;
 use nbbst::NbBst;
 use nbskiplist::SkipListMap;
 use nbtree::ChromaticTree;
 use ravl::RelaxedAvl;
 use seqrbt::RbGlobal;
 use sharded::ShardedMap;
+use std::sync::Mutex;
 use tinystm::RbStm;
 
 use crate::config::SuiteConfig;
 
-pub use sharded::ConcurrentMap;
+pub use sharded::{ConcurrentMap, RangeTier};
 
 /// All registered structure names, in the order figures print them.
 pub const ALL_MAPS: &[&str] = &[
@@ -29,6 +31,8 @@ pub const ALL_MAPS: &[&str] = &[
     "rbstm",
     "rbglobal",
     "sharded",
+    "hashmap",
+    "hybrid",
 ];
 
 /// One chromatic-tree shard of the registry's sharded façade.
@@ -55,6 +59,9 @@ impl ConcurrentMap for ChromaticShard {
     }
     fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         self.0.range(lo..=hi)
+    }
+    fn range_tier(&self) -> RangeTier {
+        RangeTier::Atomic // VLX-validated snapshot
     }
     fn len(&self) -> usize {
         self.0.len()
@@ -125,6 +132,8 @@ pub fn make_map(name: &str, cfg: &SuiteConfig) -> Option<Box<dyn ConcurrentMap>>
         "rbstm" => Box::new(RbStmMap(RbStm::new())),
         "rbglobal" => Box::new(RbGlobalMap(RbGlobal::new())),
         "sharded" => Box::new(make_sharded(cfg)),
+        "hashmap" => Box::new(HopShard::default()),
+        "hybrid" => Box::new(make_hybrid(cfg)),
         _ => return None,
     })
 }
@@ -150,6 +159,9 @@ impl ConcurrentMap for NamedChromatic {
     fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         self.inner.range(lo..=hi)
     }
+    fn range_tier(&self) -> RangeTier {
+        RangeTier::Atomic // VLX-validated snapshot
+    }
     fn len(&self) -> usize {
         self.inner.len()
     }
@@ -169,7 +181,7 @@ impl ConcurrentMap for NamedChromatic {
 // structure type. The wrappers are private; `make_map` still hands out
 // `Box<dyn ConcurrentMap>` exactly as before.
 macro_rules! impl_map {
-    ($wrapper:ident, $ty:ty, $name:literal) => {
+    ($wrapper:ident, $ty:ty, $name:literal, $tier:expr) => {
         struct $wrapper($ty);
 
         impl ConcurrentMap for $wrapper {
@@ -188,6 +200,9 @@ macro_rules! impl_map {
             fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
                 self.0.range(lo..=hi)
             }
+            fn range_tier(&self) -> RangeTier {
+                $tier
+            }
             fn len(&self) -> usize {
                 self.0.len()
             }
@@ -195,9 +210,215 @@ macro_rules! impl_map {
     };
 }
 
-impl_map!(NbBstMap, NbBst<u64, u64>, "nbbst");
-impl_map!(RelaxedAvlMap, RelaxedAvl<u64, u64>, "ravl");
-impl_map!(SkipListAdapter, SkipListMap<u64, u64>, "skiplist");
-impl_map!(LockAvlMap, lockavl::LockAvl<u64, u64>, "lockavl");
-impl_map!(RbStmMap, RbStm<u64, u64>, "rbstm");
-impl_map!(RbGlobalMap, RbGlobal<u64, u64>, "rbglobal");
+// Scan-consistency tiers are declared per structure (see `RangeTier`):
+// the template trees return VLX-validated snapshots, `lockavl` snapshots
+// its persistent root, `rbstm`/`rbglobal` scan under transactions/the
+// global lock — all atomic. The skip list's per-key-linearizable scan
+// was previously *grandfathered* through the atomic oracle (sequentially
+// indistinguishable); it now declares its real tier.
+impl_map!(NbBstMap, NbBst<u64, u64>, "nbbst", RangeTier::Atomic);
+impl_map!(RelaxedAvlMap, RelaxedAvl<u64, u64>, "ravl", RangeTier::Atomic);
+impl_map!(
+    SkipListAdapter,
+    SkipListMap<u64, u64>,
+    "skiplist",
+    RangeTier::PerKeyLinearizable
+);
+impl_map!(
+    LockAvlMap,
+    lockavl::LockAvl<u64, u64>,
+    "lockavl",
+    RangeTier::Atomic
+);
+impl_map!(RbStmMap, RbStm<u64, u64>, "rbstm", RangeTier::Atomic);
+impl_map!(RbGlobalMap, RbGlobal<u64, u64>, "rbglobal", RangeTier::Atomic);
+
+/// The `"hashmap"` registry entry: the hopscotch table, unsharded.
+///
+/// Point ops and batches go straight to [`HopMap`]; `range` is the
+/// table's per-key-linearizable sorted drain (declared through
+/// [`RangeTier::PerKeyLinearizable`], so the oracles assert exactly
+/// that — see `workload::check_against_model`).
+pub struct HopShard(HopMap<u64, u64>);
+
+impl Default for HopShard {
+    fn default() -> Self {
+        HopShard(HopMap::new())
+    }
+}
+
+impl ConcurrentMap for HopShard {
+    fn name(&self) -> &'static str {
+        "hashmap"
+    }
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        self.0.insert(k, v)
+    }
+    fn remove(&self, k: &u64) -> Option<u64> {
+        self.0.remove(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.0.get(k)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.0.sorted_range(&lo, &hi)
+    }
+    fn range_tier(&self) -> RangeTier {
+        RangeTier::PerKeyLinearizable
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    // The map's own batch entry points already chunk at the repin
+    // cadence under weighted pins; forward so the suite's batch oracle
+    // exercises that path rather than the trait default.
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        self.0.insert_batch(batch)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.0.remove_batch(keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.0.get_batch(keys)
+    }
+}
+
+/// Key-stripe latch count per [`HybridShard`] (a power of two).
+const HYBRID_LATCHES: usize = 64;
+
+/// One shard of the `"hybrid"` registry entry: a hash tier answering the
+/// point ops and their batches, dual-written with a chromatic tier that
+/// answers ordered scans.
+///
+/// # Consistency scope
+///
+/// Every mutation takes a per-key-stripe latch and writes the hash tier
+/// first, then the tree. The latch serializes writers *of the same key*
+/// (without it, two racing inserts could commit in opposite orders in
+/// the two tiers and leave them permanently disagreeing); point reads
+/// take no latch and linearize on the hash tier, which is therefore the
+/// authoritative one. `range` reads only the tree tier: its scan is an
+/// atomic snapshot *of the tree*, but because a concurrent mutation may
+/// have committed to the hash tier and not yet to the tree, the
+/// composed structure's scans are **per-key linearizable** — a scan can
+/// run slightly behind the point-op truth, never ahead of it and never
+/// torn within a key. When the shard is quiescent the tiers agree
+/// exactly (the dual-write consistency oracle in `tests/cross_crate.rs`
+/// asserts this after a settled concurrent run).
+pub struct HybridShard {
+    hash: HopMap<u64, u64>,
+    tree: ChromaticTree<u64, u64>,
+    latches: Box<[Mutex<()>]>,
+}
+
+impl Default for HybridShard {
+    fn default() -> Self {
+        HybridShard {
+            hash: HopMap::new(),
+            tree: ChromaticTree::new(),
+            latches: (0..HYBRID_LATCHES).map(|_| Mutex::new(())).collect(),
+        }
+    }
+}
+
+impl HybridShard {
+    fn latched<R>(&self, k: u64, f: impl FnOnce() -> R) -> R {
+        let _latch = self.latches[(k as usize) & (HYBRID_LATCHES - 1)]
+            .lock()
+            .unwrap();
+        f()
+    }
+}
+
+impl ConcurrentMap for HybridShard {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        self.latched(k, || {
+            let displaced = self.hash.insert(k, v);
+            let tree_displaced = self.tree.insert(k, v);
+            debug_assert_eq!(displaced, tree_displaced, "tiers diverged at insert({k})");
+            displaced
+        })
+    }
+    fn remove(&self, k: &u64) -> Option<u64> {
+        self.latched(*k, || {
+            let removed = self.hash.remove(k);
+            let tree_removed = self.tree.remove(k);
+            debug_assert_eq!(removed, tree_removed, "tiers diverged at remove({k})");
+            removed
+        })
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.hash.get(k) // no latch: reads linearize on the hash tier
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.tree.range(lo..=hi)
+    }
+    fn range_tier(&self) -> RangeTier {
+        // The tree's scan is atomic, but it can lag a mutation committed
+        // to the (authoritative) hash tier — per-key linearizable overall.
+        RangeTier::PerKeyLinearizable
+    }
+    fn len(&self) -> usize {
+        self.hash.len()
+    }
+    // Batches: one weighted pin per repin-cadence chunk (hash tier ops
+    // run under it; the tree ops nest and take the cheap re-entrant
+    // path), with the same per-key latching as the point ops.
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(batch.len());
+        for chunk in batch.chunks(llxscx::guard_cache::REPIN_OPS as usize) {
+            llxscx::guard_cache::with_guard_weighted(chunk.len() as u32, |g| {
+                out.extend(chunk.iter().map(|&(k, v)| {
+                    self.latched(k, || {
+                        let displaced = self.hash.insert_in(k, v, g);
+                        let tree_displaced = self.tree.insert(k, v);
+                        debug_assert_eq!(displaced, tree_displaced);
+                        displaced
+                    })
+                }));
+            });
+        }
+        out
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(llxscx::guard_cache::REPIN_OPS as usize) {
+            llxscx::guard_cache::with_guard_weighted(chunk.len() as u32, |g| {
+                out.extend(chunk.iter().map(|k| {
+                    self.latched(*k, || {
+                        let removed = self.hash.remove_in(k, g);
+                        let tree_removed = self.tree.remove(k);
+                        debug_assert_eq!(removed, tree_removed);
+                        removed
+                    })
+                }));
+            });
+        }
+        out
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        // Reads take no latch; chunked weighted pins like every batch path.
+        let mut out = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(llxscx::guard_cache::REPIN_OPS as usize) {
+            llxscx::guard_cache::with_guard_weighted(chunk.len() as u32, |g| {
+                out.extend(chunk.iter().map(|k| self.hash.get_in(k, g)));
+            });
+        }
+        out
+    }
+}
+
+/// The `"hybrid"` registry entry's concrete type: the sharding façade
+/// over [`HybridShard`]s — heterogeneous composition, with the façade
+/// contributing shard routing/grouping and each shard pairing a hash
+/// tier (point ops) with a chromatic tier (ordered scans).
+pub fn make_hybrid(cfg: &SuiteConfig) -> ShardedMap<HybridShard> {
+    let shards = cfg.shards();
+    ShardedMap::with_span(shards, cfg.shard_span().max(shards as u64), |_| {
+        HybridShard::default()
+    })
+    .named("hybrid")
+}

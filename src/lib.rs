@@ -5,8 +5,10 @@
 //! - [`nbtree`]: tree update template + non-blocking chromatic tree (the paper's contribution)
 //! - [`nbbst`], [`ravl`]: other trees built with the template
 //! - [`nbskiplist`], [`seqrbt`], [`tinystm`], [`lockavl`]: experimental baselines
+//! - [`hashmap`]: concurrent hopscotch hash map (the point-op tier)
 //! - [`sharded`]: range-partitioned sharding façade with batched operations
 //! - [`workload`]: benchmark harness
+pub use hashmap;
 pub use llxscx;
 pub use lockavl;
 pub use nbbst;

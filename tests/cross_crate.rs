@@ -265,6 +265,62 @@ fn concurrent_range_scans_hold_weak_properties_on_every_structure() {
 }
 
 #[test]
+fn hybrid_tiers_agree_after_settled_concurrent_run() {
+    // The dual-write consistency oracle for the `"hybrid"` registration:
+    // point ops answer from the hash tier, `range` from the chromatic
+    // tier, and every mutation dual-writes both under a per-key-stripe
+    // latch. Unlike the suite's other concurrent tests, the threads here
+    // deliberately contend on the SAME keys — without the latch, two
+    // racing writers could commit in opposite orders in the two tiers
+    // and leave them permanently disagreeing, which is exactly the bug
+    // class this oracle exists to catch. After the run settles, the
+    // tiers must agree key for key.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::sync::Arc;
+    const KEYSPACE: u64 = 512;
+    let map: Arc<dyn workload::ConcurrentMap> = Arc::from(make_map("hybrid", &cfg()).unwrap());
+    std::thread::scope(|s| {
+        for tid in 0..4u64 {
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(tid);
+                for step in 0..6000u64 {
+                    let k = rng.gen_range(0..KEYSPACE); // shared keyspace: same-key races
+                    match rng.gen_range(0..4) {
+                        0 | 1 => {
+                            map.insert(k, tid * 1_000_000 + step);
+                        }
+                        2 => {
+                            map.remove(&k);
+                        }
+                        _ => {
+                            map.get(&k);
+                        }
+                    }
+                }
+                llxscx::guard_cache::flush();
+            });
+        }
+    });
+    // Settled: the hash tier (gets, len) and the tree tier (range) must
+    // be the same map.
+    let scan = map.range(0, u64::MAX);
+    assert!(scan.windows(2).all(|w| w[0].0 < w[1].0), "scan not sorted");
+    assert_eq!(map.len(), scan.len(), "hash-tier len != tree-tier scan");
+    let mut present = 0;
+    for k in 0..KEYSPACE {
+        let got = map.get(&k);
+        let in_scan = scan
+            .binary_search_by_key(&k, |(k, _)| *k)
+            .ok()
+            .map(|i| scan[i].1);
+        assert_eq!(got, in_scan, "tiers disagree on key {k}");
+        present += got.is_some() as usize;
+    }
+    assert_eq!(present, scan.len());
+}
+
+#[test]
 fn template_driver_and_unrolled_updates_interoperate() {
     // nbbst (generic template driver) and chromatic (hand-unrolled) share
     // the same llxscx substrate; hammering both concurrently in one process
