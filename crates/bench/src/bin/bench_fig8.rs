@@ -58,11 +58,13 @@ fn main() {
         for &t in &threads {
             let (mops, _) = measure(&structure, &cfg, t, mix, range, duration, n_trials, 42);
             eprintln!("  {mix_label} threads={t}: {mops:.3} Mops/s");
-            results.push(Json::obj(vec![
+            let mut row = vec![
                 ("mix", Json::Str(mix_label.to_string())),
                 ("threads", Json::Num(t as f64)),
                 ("mops", Json::Num(mops)),
-            ]));
+            ];
+            row.extend(bench::provenance(t));
+            results.push(Json::obj(row));
         }
     }
 

@@ -77,11 +77,18 @@ fn main() {
             p.delta * 100.0
         );
     }
+    for key in &report.skipped {
+        println!("  skipped   {key:>24}  oversubscribed (threads > host cores)");
+    }
     for key in &report.missing {
         println!("  MISSING   {key:>24}  present in baseline, absent in candidate");
     }
     if report.passed() {
-        println!("gate PASSED: {} points compared", report.points.len());
+        println!(
+            "gate PASSED: {} points compared, {} skipped",
+            report.points.len(),
+            report.skipped.len()
+        );
     } else {
         println!(
             "gate FAILED: {} of {} points regressed more than {:.0}%, {} dropped",

@@ -73,12 +73,14 @@ fn main() {
             for &t in &threads {
                 let (mops, _) = measure(name, &cfg, t, mix, range, duration, n_trials, 42);
                 eprintln!("  {name} {mix_label} threads={t}: {mops:.3} Mops/s");
-                results.push(Json::obj(vec![
+                let mut row = vec![
                     ("structure", Json::Str(name.to_string())),
                     ("mix", Json::Str(mix_label.to_string())),
                     ("threads", Json::Num(t as f64)),
                     ("mops", Json::Num(mops)),
-                ]));
+                ];
+                row.extend(bench::provenance(t));
+                results.push(Json::obj(row));
             }
         }
     }

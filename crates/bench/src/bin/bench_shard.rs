@@ -14,6 +14,15 @@
 //! `-bN` mix-label suffix and a `batch` field; `b1` cells are the point
 //! baseline the printed speedups divide by.
 //!
+//! The **leafmerge tier** adds a clustered-run sweep on top: pure-insert
+//! and pure-remove mixes at batch 64 with run lengths 1/8/64 (`-cR`
+//! suffix, `run` field). Clustered batches land runs of consecutive keys
+//! on shared leaves — the shape the single-SCX run merging in
+//! `insert_bulk`/`remove_bulk` collapses to one LLX/SCX per run — so the
+//! printed `clustered/uniform` ratio is the direct payoff of merged
+//! installs over per-element bulk descent, and `batched/point` the
+//! end-to-end payoff over point ops.
+//!
 //! The façade's boundary table is sized to the benchmark's key range
 //! through the typed `SuiteConfig` (an explicit `NBTREE_SHARD_SPAN`
 //! still wins), so shards receive equal load — the deployment
@@ -37,6 +46,28 @@ const BATCHES: [u32; 4] = [1, 8, 64, 512];
 /// paper's hardest workload.
 fn batch_mixes() -> [Mix; 2] {
     [Mix::updates(100, 0), Mix::updates(50, 50)]
+}
+
+/// Run lengths of the leafmerge sweep (1 = uniform keys, the per-element
+/// bulk baseline the clustered cells divide by).
+const RUNS: [u32; 3] = [1, 8, 64];
+
+/// Batch size of the leafmerge sweep — large enough that a 64-run batch
+/// is a single maximal run.
+const RUN_BATCH: u32 = 64;
+
+/// Mixes of the leafmerge sweep: pure inserts drive the mini-subtree
+/// installs; maximal churn at a half-full steady state drives both merge
+/// paths (insert batches install 64-key runs, so the present keys remove
+/// batches hit ARE clustered, and sibling-pair collapses fire); pure
+/// removes isolate the cached-descent cost of clustered misses (its
+/// steady state is an empty dictionary).
+fn leafmerge_mixes() -> [Mix; 3] {
+    [
+        Mix::updates(100, 0),
+        Mix::updates(50, 50),
+        Mix::updates(0, 100),
+    ]
 }
 
 fn main() {
@@ -78,12 +109,14 @@ fn main() {
             for &t in &threads {
                 let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
                 eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
-                results.push(Json::obj(vec![
+                let mut row = vec![
                     ("structure", Json::Str(structure.to_string())),
                     ("mix", Json::Str(mix_label.to_string())),
                     ("threads", Json::Num(t as f64)),
                     ("mops", Json::Num(mops)),
-                ]));
+                ];
+                row.extend(bench::provenance(t));
+                results.push(Json::obj(row));
             }
         }
     }
@@ -105,13 +138,49 @@ fn main() {
                 for &t in &threads {
                     let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
                     eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
-                    results.push(Json::obj(vec![
+                    let mut row = vec![
                         ("structure", Json::Str(structure.to_string())),
                         ("mix", Json::Str(mix_label.to_string())),
                         ("batch", Json::Num(b as f64)),
                         ("threads", Json::Num(t as f64)),
                         ("mops", Json::Num(mops)),
-                    ]));
+                    ];
+                    row.extend(bench::provenance(t));
+                    results.push(Json::obj(row));
+                }
+            }
+        }
+    }
+    // Leafmerge sweep: clustered-run batches at a fixed batch size. The
+    // `r = 1` (uniform) and `b1` (point) baselines for `100i-0d` already
+    // exist in the batch sweep; `0i-100d` measures its own.
+    for structure in ["chromatic", "sharded"] {
+        for base in leafmerge_mixes() {
+            let mut cells: Vec<Mix> = Vec::new();
+            if !batch_mixes().contains(&base) {
+                cells.push(base); // b1 point baseline
+                cells.push(base.with_batch(RUN_BATCH)); // uniform b64 baseline
+            }
+            cells.extend(
+                RUNS.iter()
+                    .filter(|&&r| r > 1)
+                    .map(|&r| base.with_batch(RUN_BATCH).with_run(r)),
+            );
+            for mix in cells {
+                let mix_label = mix.label();
+                for &t in &threads {
+                    let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
+                    eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
+                    let mut row = vec![
+                        ("structure", Json::Str(structure.to_string())),
+                        ("mix", Json::Str(mix_label.to_string())),
+                        ("batch", Json::Num(mix.batch as f64)),
+                        ("run", Json::Num(mix.run as f64)),
+                        ("threads", Json::Num(t as f64)),
+                        ("mops", Json::Num(mops)),
+                    ];
+                    row.extend(bench::provenance(t));
+                    results.push(Json::obj(row));
                 }
             }
         }
@@ -157,6 +226,29 @@ fn main() {
                         "  speedup {structure} {batch_label} threads={t}: \
                          batched/point = {:.2}x",
                         batched / point
+                    );
+                }
+            }
+        }
+    }
+    // Leafmerge speedups: clustered cells against the uniform b64 cell
+    // (isolates run merging against per-element bulk descent) and against
+    // the point b1 cell (the end-to-end batching payoff).
+    for structure in ["chromatic", "sharded"] {
+        for base in leafmerge_mixes() {
+            let point_label = base.label();
+            let uniform_label = base.with_batch(RUN_BATCH).label();
+            for &r in RUNS.iter().filter(|&&r| r > 1) {
+                let run_label = base.with_batch(RUN_BATCH).with_run(r).label();
+                for &t in &threads {
+                    let point = mops_of(structure, &point_label, t);
+                    let uniform = mops_of(structure, &uniform_label, t);
+                    let clustered = mops_of(structure, &run_label, t);
+                    eprintln!(
+                        "  speedup {structure} {run_label} threads={t}: \
+                         clustered/uniform = {:.2}x, batched/point = {:.2}x",
+                        clustered / uniform,
+                        clustered / point
                     );
                 }
             }

@@ -34,6 +34,12 @@ pub struct GateReport {
     /// threads) cell — a panic mid-sweep, a changed default — must not
     /// pass just because the surviving cells look fine.
     pub missing: Vec<String>,
+    /// Points excluded because either side ran oversubscribed (row field
+    /// `"oversubscribed": true`, written by the artifact bins when a cell
+    /// used more worker threads than host cores). Such cells measure the
+    /// scheduler, not the structure, so they neither pass, fail, nor
+    /// count as missing.
+    pub skipped: Vec<String>,
 }
 
 impl GateReport {
@@ -70,10 +76,22 @@ fn point_key(run: &Json, result: &Json) -> Option<(String, f64)> {
     Some((format!("{structure}/{mix}@{threads}"), mops))
 }
 
+/// Whether a result row was measured with more worker threads than the
+/// host had cores (absent field means "not oversubscribed": older
+/// artifacts carry no provenance).
+fn oversubscribed(result: &Json) -> bool {
+    result
+        .get("oversubscribed")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+}
+
 /// Compares the runs labeled `baseline` and `candidate` in `doc`. A point
 /// regresses when `cand < base * (1 - tolerance)`; points below
 /// `min_mops` in the baseline are compared but never flagged (too noisy to
-/// gate on). Errors when either label is missing or no points overlap.
+/// gate on); points oversubscribed on either side are skipped outright
+/// (see [`GateReport::skipped`]). Errors when either label is missing or
+/// no points overlap.
 pub fn compare(
     doc: &Json,
     baseline: &str,
@@ -84,12 +102,12 @@ pub fn compare(
     let base_run = find_run(doc, baseline).ok_or_else(|| format!("no run labeled `{baseline}`"))?;
     let cand_run =
         find_run(doc, candidate).ok_or_else(|| format!("no run labeled `{candidate}`"))?;
-    let base_points: Vec<(String, f64)> = base_run
+    let base_points: Vec<(String, f64, bool)> = base_run
         .get("results")
         .map(|r| r.items())
         .unwrap_or_default()
         .iter()
-        .filter_map(|res| point_key(base_run, res))
+        .filter_map(|res| point_key(base_run, res).map(|(k, m)| (k, m, oversubscribed(res))))
         .collect();
     let mut report = GateReport::default();
     for cand_res in cand_run
@@ -100,9 +118,13 @@ pub fn compare(
         let Some((key, cand)) = point_key(cand_run, cand_res) else {
             continue;
         };
-        let Some((_, base)) = base_points.iter().find(|(k, _)| *k == key) else {
+        let Some((_, base, base_over)) = base_points.iter().find(|(k, _, _)| *k == key) else {
             continue;
         };
+        if *base_over || oversubscribed(cand_res) {
+            report.skipped.push(key);
+            continue;
+        }
         let base = *base;
         let delta = if base > 0.0 { cand / base - 1.0 } else { 0.0 };
         let regressed = base >= min_mops && cand < base * (1.0 - tolerance);
@@ -114,15 +136,17 @@ pub fn compare(
             regressed,
         });
     }
-    if report.points.is_empty() {
+    if report.points.is_empty() && report.skipped.is_empty() {
         return Err(format!(
             "runs `{baseline}` and `{candidate}` share no comparable points"
         ));
     }
     report.missing = base_points
         .iter()
-        .filter(|(k, _)| !report.points.iter().any(|p| p.key == *k))
-        .map(|(k, _)| k.clone())
+        .filter(|(k, _, _)| {
+            !report.points.iter().any(|p| p.key == *k) && !report.skipped.contains(k)
+        })
+        .map(|(k, _, _)| k.clone())
         .collect();
     Ok(report)
 }
@@ -209,6 +233,69 @@ mod tests {
     fn disjoint_points_are_an_error() {
         let d = doc(&[("0i-0d", 1.0)], &[("50i-50d", 1.0)]);
         assert!(compare(&d, "baseline", "pr", 0.3, 0.0).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_cells_are_skipped_not_gated_and_not_missing() {
+        let row = |mix: &str, threads: f64, mops: f64, over: bool| {
+            Json::obj(vec![
+                ("mix", Json::Str(mix.to_string())),
+                ("threads", Json::Num(threads)),
+                ("mops", Json::Num(mops)),
+                ("cores", Json::Num(1.0)),
+                ("oversubscribed", Json::Bool(over)),
+            ])
+        };
+        let run = |label: &str, rows: Vec<Json>| {
+            Json::obj(vec![
+                ("label", Json::Str(label.into())),
+                ("structure", Json::Str("chromatic".into())),
+                ("results", Json::Arr(rows)),
+            ])
+        };
+        let d = Json::obj(vec![(
+            "runs",
+            Json::Arr(vec![
+                run(
+                    "baseline",
+                    vec![row("0i-0d", 1.0, 1.0, false), row("0i-0d", 4.0, 2.0, true)],
+                ),
+                run(
+                    "pr",
+                    // The 4-thread cell collapsed by 10x — but it ran
+                    // oversubscribed on a 1-core host, so it is skipped
+                    // rather than flagged, and not reported missing.
+                    vec![row("0i-0d", 1.0, 1.0, false), row("0i-0d", 4.0, 0.2, true)],
+                ),
+            ]),
+        )]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        assert!(r.passed(), "{:?}", r.regressions());
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.skipped, vec!["chromatic/0i-0d@4".to_string()]);
+        assert!(r.missing.is_empty());
+        // One-sided oversubscription (host changed between runs) still
+        // skips: the cell is incomparable either way.
+        let d = Json::obj(vec![(
+            "runs",
+            Json::Arr(vec![
+                run("baseline", vec![row("0i-0d", 4.0, 2.0, true)]),
+                run("pr", vec![row("0i-0d", 4.0, 0.2, false)]),
+            ]),
+        )]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        assert!(r.passed());
+        assert_eq!(r.skipped.len(), 1);
+    }
+
+    #[test]
+    fn rows_without_provenance_still_gate() {
+        // Pre-provenance artifacts (no `oversubscribed` field) keep the
+        // old behavior: every cell is compared.
+        let d = doc(&[("0i-0d", 1.0)], &[("0i-0d", 0.5)]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        assert!(!r.passed());
+        assert!(r.skipped.is_empty());
     }
 
     #[test]

@@ -69,6 +69,14 @@ impl Json {
         }
     }
 
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serializes with two-space indentation and a trailing newline.
     pub fn pretty(&self) -> String {
         let mut out = String::new();

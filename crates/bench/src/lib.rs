@@ -92,6 +92,29 @@ pub fn bench_threads(default: &[usize]) -> Vec<usize> {
     default.to_vec()
 }
 
+/// Parallelism of the host as reported by the OS (1 when unknown) — the
+/// provenance every artifact row carries so a reader (human or gate) can
+/// tell which cells were measured with real parallelism.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The host-provenance fields appended to every artifact result row:
+/// the measuring host's core count and whether the cell ran more worker
+/// threads than cores. An oversubscribed cell's Mops/s is
+/// scheduler-dominated — comparable across labels only on the same host
+/// and kernel — so the bench gate skips those cells instead of gating on
+/// them.
+pub fn provenance(threads: usize) -> Vec<(&'static str, json::Json)> {
+    let cores = host_cores();
+    vec![
+        ("cores", json::Json::Num(cores as f64)),
+        ("oversubscribed", json::Json::Bool(threads > cores)),
+    ]
+}
+
 /// Prints one row of a fixed-width table.
 pub fn print_row(first: &str, cells: &[String]) {
     print!("{first:<12}");

@@ -25,6 +25,18 @@ pub struct AuditReport {
     pub red_red_violations: usize,
     /// Overweight violation units (`Σ max(w − 1, 0)`).
     pub overweight_violations: usize,
+    /// Weight-0 (red) internal nodes. Merged-run installs create these in
+    /// bursts (a mini-subtree is all-red below its root); their *placement*
+    /// is checked structurally — a weight-0 node must be internal (a
+    /// weight-0 leaf is an error) and sit below the sentinels, so every
+    /// red node contributes 0 to its paths' weight sums.
+    pub zero_weight_internals: usize,
+    /// The common weighted root-to-leaf path sum of the chromatic tree
+    /// (`None` when the dictionary is empty). All paths must agree — any
+    /// mismatch is an error — so after a merged-run install this equals
+    /// the replaced leaf's old path sum: the mini-subtree root's `w − 1`
+    /// plus its weight-0 internals plus a weight-1 leaf.
+    pub weighted_path_sum: Option<u64>,
     /// Invariant breaches found; empty means the structure is a valid
     /// chromatic tree.
     pub errors: Vec<String>,
@@ -108,6 +120,7 @@ where
             &mut report,
             guard,
         );
+        report.weighted_path_sum = path_weight;
         report
     }
 
@@ -176,6 +189,9 @@ where
                 }
             }
         } else {
+            if w == 0 {
+                report.zero_weight_internals += 1;
+            }
             let Some(key) = node.key() else {
                 report
                     .errors

@@ -1,19 +1,48 @@
-//! Sorted-bulk insertion: shared search-path prefixes, chunked pins.
+//! Sorted-bulk updates: shared search-path prefixes, same-leaf run
+//! merging, chunked pins.
 //!
-//! [`ChromaticTree::insert_bulk`] is the tree-level half of the suite's
-//! batch story (the sharded façade's shard grouping is the other half).
-//! It sorts the batch and inserts in ascending key order, so consecutive
-//! keys usually land in nearby leaves — and instead of re-searching from
-//! the entry sentinel for every key, it **caches the search path** of the
-//! previous insertion and restarts the descent from the deepest cached
-//! ancestor whose subtree can still contain the next key. For a batch of
-//! `n` uniform keys over a tree of `N` keys that cuts the per-key search
-//! from `log N` hops to roughly `log(N/n)` fresh hops plus a shared
-//! prefix. Epoch pins are weighted
+//! [`ChromaticTree::insert_bulk`] and [`ChromaticTree::remove_bulk`] are
+//! the tree-level half of the suite's batch story (the sharded façade's
+//! shard grouping is the other half). Both sort the batch and apply it in
+//! ascending key order, so consecutive keys usually land in nearby leaves
+//! — and instead of re-searching from the entry sentinel for every key,
+//! they **cache the search path** of the previous update and restart the
+//! descent from the deepest cached ancestor whose subtree can still
+//! contain the next key. For a batch of `n` uniform keys over a tree of
+//! `N` keys that cuts the per-key search from `log N` hops to roughly
+//! `log(N/n)` fresh hops plus a shared prefix. Epoch pins are weighted
 //! ([`llxscx::guard_cache::with_guard_weighted`]) and taken **per
 //! repin-interval chunk**, not per batch: a batch-long pin delays every
 //! retirement to the batch boundary, and the resulting garbage wave
 //! measurably cost more than the pins it saved.
+//!
+//! # Run merging: one SCX per same-leaf run
+//!
+//! The SCX template replaces an arbitrary connected subgraph atomically,
+//! so a *maximal run* of sorted keys that all route to one leaf does not
+//! need one SCX per key. `insert_bulk` detects such runs during the
+//! cached-path descent — every batch key smaller than the reached leaf's
+//! exclusive window bound lands in that leaf — and installs the whole run
+//! with a single LLX/SCX over the same `⟨p, l⟩` section a point insert
+//! freezes ([`ChromaticTree::try_insert_run`]): the run plus the old
+//! leaf's payload is rebuilt off-line as a balanced mini-subtree whose
+//! root takes the Insert1 weight `l.w − 1`, whose internals are weight 0
+//! and whose leaves are fresh weight-1 leaves. Every path through the new
+//! section then sums to the old leaf's weight regardless of depth, so the
+//! equal-weighted-path-sums invariant holds *by construction* and the
+//! Fig. 11 rebalancing steps apply unchanged; the only violations the
+//! install can create are red-red edges among the fresh weight-0
+//! internals, handled by the ordinary `allowed_violations` policy. A run
+//! of length 1, or any run whose SCX loses to a concurrent update, falls
+//! back to the per-element path.
+//!
+//! `remove_bulk` merges symmetrically at pair granularity: when the
+//! current key's leaf and its right sibling hold two *consecutive* batch
+//! keys, both deletions collapse into one SCX that contracts the shared
+//! parent's whole subtree ([`ChromaticTree::try_delete_pair`]) — the
+//! weight the contraction produces (`gp.w + c.w`) is exactly what the
+//! second of two sequential deletes would leave, because the intermediate
+//! sibling copy is itself deleted and its weight never surfaces.
 //!
 //! # Why restarting from a cached ancestor is safe
 //!
@@ -158,10 +187,17 @@ where
                     node: self.entry(guard),
                     hi: None,
                 });
-                for j in chunk_start..chunk_end {
+                // Elements below `fallback_until` skip run merging: after a
+                // merged install loses its SCX, the whole run retries
+                // per-element (the ISSUE's fallback rule) — contention that
+                // beat the big install once is likely to beat it again, and
+                // the per-element path makes progress one key at a time.
+                let mut fallback_until = chunk_start;
+                let mut j = chunk_start;
+                while j < chunk_end {
                     let i = index_of(j);
                     let (key, value) = &pairs[i];
-                    loop {
+                    let advance = loop {
                         // Drop cached ancestors whose window cannot contain
                         // `key` (keys ascend, so only the upper bound can be
                         // violated). The entry sentinel (`hi == None`) always
@@ -193,12 +229,231 @@ where
                         } else {
                             Shared::null()
                         };
-                        let (p, leaf) = loop {
+                        let (p, leaf, leaf_hi) = loop {
                             let dir = if top_ref.route_left(key) { 0 } else { 1 };
                             let child_hi = if dir == 0 { top_ref.key() } else { top.hi };
                             let child = top_ref.read_child(dir, guard);
                             // SAFETY: as above; the entry sentinel's null right
                             // child is unreachable (its ∞ key routes left).
+                            let child_ref = unsafe { child.deref() };
+                            if child_ref.weight() > 1 {
+                                violations += child_ref.weight() - 1;
+                            } else if child_ref.weight() == 0 && top_ref.weight() == 0 {
+                                violations += 1;
+                            }
+                            if child_ref.is_leaf(guard) {
+                                break (top.node, child, child_hi);
+                            }
+                            gp = top.node;
+                            top = PathEntry {
+                                node: child,
+                                hi: child_hi,
+                            };
+                            top_ref = child_ref;
+                            path.push(top);
+                        };
+                        let res = SearchResult {
+                            gp,
+                            p,
+                            leaf,
+                            violations_seen: violations,
+                        };
+                        // Run detection: every later batch key below the
+                        // leaf's exclusive window bound routes to this same
+                        // leaf (the window argument of the module docs —
+                        // keys ascend, so the lower bound is already
+                        // admitted). Runs never cross the chunk boundary:
+                        // the path cache cannot outlive its pin, and neither
+                        // should a frozen section.
+                        let mut m = j + 1;
+                        if j >= fallback_until {
+                            while m < chunk_end {
+                                let (k2, _) = &pairs[index_of(m)];
+                                if !crate::node::probe_lt_key(k2, leaf_hi) {
+                                    break;
+                                }
+                                m += 1;
+                            }
+                        }
+                        if m - j >= 2 {
+                            // Dedup the run in place: positions are sorted
+                            // with duplicates in batch order, so keeping the
+                            // last value per key is last-duplicate-wins.
+                            let mut run_items: Vec<(&K, &V)> = Vec::with_capacity(m - j);
+                            for t in j..m {
+                                let (k, v) = &pairs[index_of(t)];
+                                match run_items.last_mut() {
+                                    Some(last) if last.0 == k => last.1 = v,
+                                    _ => run_items.push((k, v)),
+                                }
+                            }
+                            match self.try_insert_run(&res, &run_items, guard) {
+                                Ok(red_reds) => {
+                                    // Displaced values, computed from the
+                                    // replaced leaf's immutable payload: the
+                                    // first occurrence of a key displaces the
+                                    // leaf's value (if it held that key),
+                                    // later duplicates displace the previous
+                                    // occurrence.
+                                    // SAFETY: content reads; see module docs.
+                                    let leaf_ref = unsafe { leaf.deref() };
+                                    let mut prev: Option<(&K, &V)> = None;
+                                    for t in j..m {
+                                        let it = index_of(t);
+                                        let (k, v) = &pairs[it];
+                                        out[it] = match prev {
+                                            Some((pk, pv)) if pk == k => Some(pv.clone()),
+                                            _ if leaf_ref.key_eq(k) => leaf_ref.value().cloned(),
+                                            _ => None,
+                                        };
+                                        prev = Some((k, v));
+                                    }
+                                    self.stats.bump_merged_insert((m - j) as u64);
+                                    if red_reds > 0 {
+                                        self.stats.bump_violations_created();
+                                        if violations + red_reds > self.allowed_violations {
+                                            // Each created red-red lies on the
+                                            // path to at least one run key, so
+                                            // cleaning every distinct run key
+                                            // restores the eager guarantee.
+                                            for (k, _) in &run_items {
+                                                self.cleanup(k);
+                                            }
+                                            path.truncate(1);
+                                        }
+                                    }
+                                    break m - j;
+                                }
+                                Err(()) => {
+                                    // The merged SCX lost: fall back to
+                                    // per-element inserts for this run.
+                                    self.stats.bump_insert_retries();
+                                    fallback_until = m;
+                                    path.truncate(1);
+                                    continue;
+                                }
+                            }
+                        }
+                        match self.try_insert(&res, key, value, guard) {
+                            Ok((old, created_violation)) => {
+                                out[i] = old;
+                                if created_violation {
+                                    self.stats.bump_violations_created();
+                                    if violations + 1 > self.allowed_violations {
+                                        // Cleanup restructures arbitrarily; the
+                                        // cached prefix stays sound (windows
+                                        // only widen; stale nodes fail their
+                                        // LLX), but re-validate conservatively
+                                        // by restarting the next descent from
+                                        // the entry sentinel.
+                                        self.cleanup(key);
+                                        path.truncate(1);
+                                    }
+                                }
+                                break 1;
+                            }
+                            Err(()) => {
+                                // Concurrent interference: discard the cache
+                                // and retry this key from the entry sentinel,
+                                // like a point insert.
+                                self.stats.bump_insert_retries();
+                                path.truncate(1);
+                            }
+                        }
+                    };
+                    j += advance;
+                }
+            });
+            chunk_start = chunk_end;
+        }
+        out
+    }
+
+    /// Removes a whole batch of keys, returning the removed value per key
+    /// in **input order** — the symmetric path to
+    /// [`insert_bulk`](Self::insert_bulk).
+    ///
+    /// The batch is stably key-sorted and applied in ascending key order
+    /// under chunked weighted epoch pins with the cached-path descent of
+    /// the module docs. When two *consecutive* batch keys turn out to live
+    /// in sibling leaves, both deletions collapse into one SCX that
+    /// contracts the shared parent's subtree (`try_delete_pair`; see the
+    /// module docs);
+    /// otherwise each key deletes exactly like a point remove. Semantics
+    /// match sequential input-order application: each element linearizes
+    /// individually and duplicate keys behave as if removed one at a time
+    /// (the first duplicate wins, the rest observe the key absent).
+    ///
+    /// ```
+    /// let tree = nbtree::ChromaticTree::new();
+    /// tree.insert_bulk(&[(1, "a"), (2, "b"), (3, "c")]);
+    /// let removed = tree.remove_bulk(&[2, 9, 2, 1]);
+    /// assert_eq!(removed, vec![Some("b"), None, None, Some("a")]);
+    /// assert_eq!(tree.collect(), vec![(3, "c")]);
+    /// ```
+    pub fn remove_bulk(&self, keys: &[K]) -> Vec<Option<V>> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            keys.len() <= u32::MAX as usize,
+            "bulk batches are limited to u32::MAX elements"
+        );
+        let presorted = keys.windows(2).all(|w| w[0] <= w[1]);
+        let sorted_order: Option<Vec<u32>> = if presorted {
+            None
+        } else {
+            let mut keyed: Vec<(K, u32)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k.clone(), i as u32))
+                .collect();
+            keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            Some(keyed.into_iter().map(|(_, i)| i).collect())
+        };
+        let index_of = |j: usize| sorted_order.as_ref().map_or(j, |order| order[j] as usize);
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        let repin = llxscx::guard_cache::REPIN_OPS as usize;
+        let mut chunk_start = 0;
+        while chunk_start < keys.len() {
+            let chunk_end = (chunk_start + repin).min(keys.len());
+            let weight = (chunk_end - chunk_start) as u32;
+            llxscx::guard_cache::with_guard_weighted(weight, |guard| {
+                let mut path: Vec<PathEntry<'_, K, V>> = Vec::with_capacity(32);
+                path.push(PathEntry {
+                    node: self.entry(guard),
+                    hi: None,
+                });
+                // As in `insert_bulk`: after a merged SCX loses, the pair
+                // retries per-element.
+                let mut fallback_until = chunk_start;
+                let mut j = chunk_start;
+                while j < chunk_end {
+                    let i = index_of(j);
+                    let key = &keys[i];
+                    let advance = loop {
+                        while let Some(top) = path.last() {
+                            match top.hi {
+                                Some(hi) if hi <= key => path.pop(),
+                                _ => break,
+                            };
+                        }
+                        debug_assert!(!path.is_empty(), "entry sentinel popped");
+                        let mut violations = 0u32;
+                        let mut top = *path.last().expect("path holds at least entry");
+                        // SAFETY: reached from entry under `guard` (property
+                        // C3); see module docs for the cached-prefix argument.
+                        let mut top_ref = unsafe { top.node.deref() };
+                        let mut gp = if path.len() >= 2 {
+                            path[path.len() - 2].node
+                        } else {
+                            Shared::null()
+                        };
+                        let (p, leaf) = loop {
+                            let dir = if top_ref.route_left(key) { 0 } else { 1 };
+                            let child_hi = if dir == 0 { top_ref.key() } else { top.hi };
+                            let child = top_ref.read_child(dir, guard);
+                            // SAFETY: as above.
                             let child_ref = unsafe { child.deref() };
                             if child_ref.weight() > 1 {
                                 violations += child_ref.weight() - 1;
@@ -216,39 +471,89 @@ where
                             top_ref = child_ref;
                             path.push(top);
                         };
+                        // SAFETY: content reads of an immutable payload.
+                        let leaf_ref = unsafe { leaf.deref() };
+                        if gp.is_null() || !leaf_ref.key_eq(key) {
+                            // Absent key (or empty tree): linearizes like a
+                            // query, nothing to do.
+                            break 1;
+                        }
+                        // Pair merging: the next batch key must be distinct,
+                        // inside this chunk, and sitting in the right
+                        // sibling leaf; the contraction also needs a real
+                        // great-grandparent in the cached path (`path` ends
+                        // at `p`, so `len ≥ 3` means entry…ggp, gp, p).
+                        if j >= fallback_until && j + 1 < chunk_end && path.len() >= 3 {
+                            let i2 = index_of(j + 1);
+                            let key2 = &keys[i2];
+                            // SAFETY: as above.
+                            let p_ref = unsafe { p.deref() };
+                            let sib = p_ref.read_child(1, guard);
+                            let sib_ok = key2 != key && p_ref.read_child(0, guard) == leaf && {
+                                // SAFETY: as above.
+                                let sib_ref = unsafe { sib.deref() };
+                                sib_ref.is_leaf(guard) && sib_ref.key_eq(key2)
+                            };
+                            if sib_ok {
+                                let ggp = path[path.len() - 3].node;
+                                match self.try_delete_pair(ggp, gp, p, leaf, key2, guard) {
+                                    Ok((old1, old2, created_violation)) => {
+                                        out[i] = old1;
+                                        out[i2] = old2;
+                                        self.stats.bump_merged_remove_scxs();
+                                        // `p` and `gp` are finalized: drop
+                                        // them from the cache so the next
+                                        // descent restarts at `ggp`.
+                                        path.pop();
+                                        path.pop();
+                                        if created_violation {
+                                            self.stats.bump_violations_created();
+                                            if violations + 1 > self.allowed_violations {
+                                                self.cleanup(key);
+                                                path.truncate(1);
+                                            }
+                                        }
+                                        break 2;
+                                    }
+                                    Err(()) => {
+                                        self.stats.bump_delete_retries();
+                                        fallback_until = j + 2;
+                                        path.truncate(1);
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
                         let res = SearchResult {
                             gp,
                             p,
                             leaf,
                             violations_seen: violations,
                         };
-                        match self.try_insert(&res, key, value, guard) {
+                        match self.try_delete(&res, key, guard) {
                             Ok((old, created_violation)) => {
+                                if old.is_some() {
+                                    // The SCX finalized `p`: drop it from the
+                                    // cache (its replacement hangs off `gp`).
+                                    path.pop();
+                                }
                                 out[i] = old;
                                 if created_violation {
                                     self.stats.bump_violations_created();
                                     if violations + 1 > self.allowed_violations {
-                                        // Cleanup restructures arbitrarily; the
-                                        // cached prefix stays sound (windows
-                                        // only widen; stale nodes fail their
-                                        // LLX), but re-validate conservatively
-                                        // by restarting the next descent from
-                                        // the entry sentinel.
                                         self.cleanup(key);
                                         path.truncate(1);
                                     }
                                 }
-                                break;
+                                break 1;
                             }
                             Err(()) => {
-                                // Concurrent interference: discard the cache
-                                // and retry this key from the entry sentinel,
-                                // like a point insert.
-                                self.stats.bump_insert_retries();
+                                self.stats.bump_delete_retries();
                                 path.truncate(1);
                             }
                         }
-                    }
+                    };
+                    j += advance;
                 }
             });
             chunk_start = chunk_end;
@@ -310,5 +615,133 @@ mod tests {
         assert_eq!(t.len(), 2000);
         let report = t.audit();
         assert!(report.is_valid(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn whole_batch_into_empty_tree_installs_in_one_scx() {
+        // Large allowance: the mini-subtree's intentional red-reds stay in
+        // place, so the installed shape is observable.
+        let t = ChromaticTree::with_allowed_violations(1000);
+        let batch: Vec<(u64, u64)> = (0..64u64).map(|k| (k, 2 * k)).collect();
+        let got = t.insert_bulk(&batch);
+        assert!(got.iter().all(Option::is_none));
+        assert_eq!(t.stats().merged_insert_scxs(), 1, "one SCX for the run");
+        assert_eq!(t.stats().merged_insert_keys(), 64);
+        assert_eq!(t.len(), 64);
+        let report = t.audit();
+        assert!(report.is_valid(), "{:?}", report.errors);
+        // Black root over weight-0 internals over weight-1 leaves: every
+        // weighted path sums to 3 (audit's baseline 1 + root 1 + leaf 1),
+        // and all 62 non-root internals of the 64-leaf subtree are red.
+        assert_eq!(report.weighted_path_sum, Some(3));
+        assert_eq!(report.zero_weight_internals, 62);
+        assert_eq!(report.red_red_violations, 60);
+    }
+
+    #[test]
+    fn eager_policy_cleans_merged_installs() {
+        let t = ChromaticTree::new(); // allowed_violations = 0
+        let batch: Vec<(u64, u64)> = (0..256u64).map(|k| (k, k)).collect();
+        t.insert_bulk(&batch);
+        assert!(t.stats().merged_insert_scxs() >= 1);
+        let report = t.audit();
+        assert!(report.is_valid(), "{:?}", report.errors);
+        assert_eq!(
+            report.red_red_violations, 0,
+            "eager cleanup leaves no red-red behind"
+        );
+        assert!(report.weighted_path_sum.is_some());
+    }
+
+    #[test]
+    fn clustered_batch_merges_runs() {
+        let t = ChromaticTree::new();
+        // Spread-out keys, then a clustered run inside one leaf's window.
+        for k in (0..1000u64).step_by(100) {
+            t.insert(k, k);
+        }
+        let batch: Vec<(u64, u64)> = (250..290u64).map(|k| (k, k)).collect();
+        let got = t.insert_bulk(&batch);
+        assert!(got.iter().all(Option::is_none));
+        assert!(t.stats().merged_insert_scxs() >= 1);
+        assert!(t.stats().merged_insert_keys() >= 2);
+        let report = t.audit();
+        assert!(report.is_valid(), "{:?}", report.errors);
+        assert_eq!(t.len(), 10 + 40);
+    }
+
+    #[test]
+    fn empty_remove_bulk_is_a_noop() {
+        let t = ChromaticTree::<u64, u64>::new();
+        assert_eq!(t.remove_bulk(&[]), Vec::<Option<u64>>::new());
+        t.insert(1, 1);
+        assert_eq!(t.remove_bulk(&[]), Vec::<Option<u64>>::new());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_bulk_matches_sequential_application() {
+        let t = ChromaticTree::new();
+        t.insert_bulk(&(0..10u64).map(|k| (k, 10 * k)).collect::<Vec<_>>());
+        // Duplicates: the first removal wins, the second sees the key gone.
+        let got = t.remove_bulk(&[7, 3, 99, 7, 0]);
+        assert_eq!(got, vec![Some(70), Some(30), None, None, Some(0)]);
+        assert_eq!(t.len(), 7);
+        let report = t.audit();
+        assert!(report.is_valid(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn remove_bulk_pair_collapse_empties_sibling_leaves() {
+        let t = ChromaticTree::new();
+        t.insert_bulk(&(0..64u64).map(|k| (k, k)).collect::<Vec<_>>());
+        let before = t.stats().merged_remove_scxs();
+        let got = t.remove_bulk(&(0..64u64).collect::<Vec<_>>());
+        assert!(got.iter().all(Option::is_some));
+        assert!(
+            t.stats().merged_remove_scxs() > before,
+            "consecutive keys in sibling leaves must collapse in one SCX"
+        );
+        assert_eq!(t.len(), 0);
+        let report = t.audit();
+        assert!(report.is_valid(), "{:?}", report.errors);
+        assert_eq!(report.weighted_path_sum, None, "tree drained to Fig. 10(a)");
+    }
+
+    #[test]
+    fn remove_bulk_descending_and_random_orders_agree() {
+        // 13 is invertible mod 301, so the keys are distinct.
+        let keys: Vec<u64> = (0..300u64).map(|k| k * 13 % 301).collect();
+        let asc = ChromaticTree::new();
+        let desc = ChromaticTree::new();
+        for t in [&asc, &desc] {
+            t.insert_bulk(&keys.iter().map(|&k| (k, k)).collect::<Vec<_>>());
+        }
+        let victims: Vec<u64> = keys.iter().copied().step_by(2).collect();
+        let mut rev = victims.clone();
+        rev.reverse();
+        let a = asc.remove_bulk(&victims);
+        let mut d = desc.remove_bulk(&rev);
+        d.reverse();
+        // All victims distinct, so order must not matter.
+        assert_eq!(a, d);
+        assert_eq!(asc.collect(), desc.collect());
+        assert!(asc.audit().is_valid());
+        assert!(desc.audit().is_valid());
+    }
+
+    #[test]
+    fn interleaved_bulk_insert_and_remove_keep_the_tree_valid() {
+        let t = ChromaticTree::with_allowed_violations(6);
+        for round in 0..8u64 {
+            let base = round * 97;
+            let batch: Vec<(u64, u64)> = (base..base + 200).map(|k| (k, k)).collect();
+            t.insert_bulk(&batch);
+            let victims: Vec<u64> = (base..base + 200).step_by(3).collect();
+            let removed = t.remove_bulk(&victims);
+            assert!(removed.iter().all(Option::is_some));
+            let report = t.audit();
+            assert!(report.is_valid(), "round {round}: {:?}", report.errors);
+        }
     }
 }

@@ -1,13 +1,16 @@
-//! Sorted-bulk insert (`ChromaticTree::insert_bulk`) against the
-//! sequential oracle and under concurrency.
+//! Sorted-bulk updates (`ChromaticTree::insert_bulk` /
+//! `ChromaticTree::remove_bulk`) against the sequential oracle and under
+//! concurrency.
 //!
-//! The bulk path reuses search-path prefixes between consecutive sorted
-//! keys (see `chromatic/bulk.rs`), which is exactly the kind of
-//! optimization that can silently misplace a key if the cached-ancestor
-//! argument is wrong — so the oracle checks both the per-element results
-//! *and* the full structural audit after every scenario, and the
-//! concurrent tests hammer the cache-invalidation path (SCX failures,
-//! cleanup restructuring) from multiple threads.
+//! The bulk paths reuse search-path prefixes between consecutive sorted
+//! keys and merge same-leaf runs into single SCXs (see
+//! `chromatic/bulk.rs`), which is exactly the kind of optimization that
+//! can silently misplace a key — or break the equal-weighted-path-sums
+//! invariant — if the cached-ancestor or mini-subtree argument is wrong.
+//! So the oracles check the per-element results *and* the full structural
+//! audit (path-sum equality included) after every scenario, and the
+//! concurrent tests hammer the cache-invalidation and merged-SCX fallback
+//! paths from multiple threads.
 
 use nbtree::ChromaticTree;
 
@@ -31,6 +34,55 @@ fn check_bulk_against_model(script: &[(bool, Vec<(u64, u64)>)], allowed_violatio
     assert_eq!(tree.collect(), contents);
     let report = tree.audit();
     assert!(report.is_valid(), "{:?}", report.errors);
+}
+
+/// Mixed-op oracle: each script entry is `(mode % 4, batch)` — bulk
+/// insert, point inserts, bulk remove (the batch's keys), point removes —
+/// replayed against a `BTreeMap`. After every op the audit must be clean,
+/// with the weighted-path-sum invariant explicitly present whenever the
+/// dictionary is non-empty (the merged mini-subtree install is built
+/// around keeping it equal).
+fn check_mixed_against_model(script: &[(u8, Vec<(u64, u64)>)], allowed_violations: u32) {
+    use std::collections::BTreeMap;
+    let tree = ChromaticTree::with_allowed_violations(allowed_violations);
+    let mut model = BTreeMap::new();
+    for (mode, batch) in script {
+        match mode % 4 {
+            0 => {
+                let expect: Vec<Option<u64>> =
+                    batch.iter().map(|&(k, v)| model.insert(k, v)).collect();
+                assert_eq!(tree.insert_bulk(batch), expect, "insert_bulk {batch:?}");
+            }
+            1 => {
+                for &(k, v) in batch {
+                    assert_eq!(tree.insert(k, v), model.insert(k, v), "point insert {k}");
+                }
+            }
+            2 => {
+                let keys: Vec<u64> = batch.iter().map(|&(k, _)| k).collect();
+                let expect: Vec<Option<u64>> = keys.iter().map(|k| model.remove(k)).collect();
+                assert_eq!(tree.remove_bulk(&keys), expect, "remove_bulk {keys:?}");
+            }
+            _ => {
+                for &(k, _) in batch {
+                    assert_eq!(tree.remove(&k), model.remove(&k), "point remove {k}");
+                }
+            }
+        }
+        let report = tree.audit();
+        assert!(
+            report.is_valid(),
+            "after {mode}/{batch:?}: {:?}",
+            report.errors
+        );
+        if model.is_empty() {
+            assert_eq!(report.weighted_path_sum, None, "empty tree has no paths");
+        } else {
+            assert!(report.weighted_path_sum.is_some(), "path sums must agree");
+        }
+    }
+    let contents: Vec<(u64, u64)> = model.into_iter().collect();
+    assert_eq!(tree.collect(), contents);
 }
 
 #[test]
@@ -77,6 +129,48 @@ fn adversarial_shapes_match_model() {
     }
 }
 
+#[test]
+fn adversarial_run_shapes_match_model() {
+    // Whole batch destined for one leaf (empty tree → a single merged
+    // install), alternating runs (clusters interleaved with far-away
+    // singletons, so merged installs and per-element inserts alternate
+    // along the same batch), and full sweeps removing what was merged.
+    let one_leaf: Vec<(u64, u64)> = (0..64).map(|k| (1000 + k, k)).collect();
+    let alternating: Vec<(u64, u64)> = (0..8u64)
+        .flat_map(|c| {
+            let base = c * 10_000;
+            (0..8u64)
+                .map(move |i| (base + i, c))
+                .chain(std::iter::once((base + 5_000, c)))
+        })
+        .collect();
+    for k in [0u32, 6] {
+        check_mixed_against_model(
+            &[
+                (0, one_leaf.clone()),
+                (2, one_leaf.clone()),
+                (0, alternating.clone()),
+                (0, one_leaf.clone()),
+                (2, alternating.clone()),
+                (2, one_leaf.clone()),
+            ],
+            k,
+        );
+    }
+}
+
+#[test]
+fn runs_straddling_pending_violations_match_model() {
+    // Chromatic6 defers rebalancing, so after the ascending point inserts
+    // the region is littered with pending violations; the clustered bulk
+    // then lands its runs on leaves whose paths still carry them, and the
+    // removal sweep contracts right through them. Every step re-audits.
+    let evens: Vec<(u64, u64)> = (0..100u64).map(|k| (2 * k, k)).collect();
+    let odds: Vec<(u64, u64)> = (0..100u64).map(|k| (2 * k + 1, k)).collect();
+    let everything: Vec<(u64, u64)> = (0..200u64).map(|k| (k, 0)).collect();
+    check_mixed_against_model(&[(1, evens), (0, odds), (2, everything)], 6);
+}
+
 mod bulk_proptest {
     use super::*;
     use proptest::prelude::*;
@@ -108,6 +202,39 @@ mod bulk_proptest {
             let (script, allowed) = input;
             check_bulk_against_model(&script, if allowed { 6 } else { 0 });
         }
+
+        /// Run-merging oracle: adversarially clustered batches (runs of
+        /// consecutive keys over a narrow keyspace, so whole batches
+        /// collapse into few leaves) driven through bulk/point inserts and
+        /// removes, every step audit-checked for path-sum equality by
+        /// `check_mixed_against_model`.
+        #[test]
+        fn clustered_run_bulk_ops_match_btreemap(
+            input in (
+                proptest::collection::vec((any::<u8>(), clustered_batch_strategy()), 1..10),
+                any::<bool>(),
+            )
+        ) {
+            let (script, allowed) = input;
+            check_mixed_against_model(&script, if allowed { 6 } else { 0 });
+        }
+    }
+
+    /// Batches made of runs of consecutive keys: a few (base, length)
+    /// seeds expanded into `base..=base+len` clusters over a keyspace
+    /// narrow enough that runs from different rounds straddle each other
+    /// (and any violations a previous round left pending).
+    fn clustered_batch_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+        proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>())
+                .prop_map(|(base, len, v)| (base % 200, len % 16, v)),
+            0..10,
+        )
+        .prop_map(|runs| {
+            runs.into_iter()
+                .flat_map(|(base, len, v)| (0..=len).map(move |i| (base + i, v)))
+                .collect()
+        })
     }
 }
 
@@ -206,6 +333,54 @@ fn concurrent_bulk_writers_on_contended_keys_stay_valid() {
     let report = tree.audit();
     assert!(report.is_valid(), "{:?}", report.errors);
     // Quiescent sanity: the snapshot is sorted and duplicate-free.
+    let snap = tree.collect();
+    assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn concurrent_contended_bulk_runs_stay_valid() {
+    // Writers bulk-insert overlapping *clustered* batches (maximal
+    // same-leaf runs, so whole-run SCXs contend directly) while a bulk
+    // remover sweeps the same clusters with consecutive keys (pair
+    // collapses contending with the installs). Exercises the merged-SCX
+    // fallback path: a losing install must retry per-element without
+    // losing or duplicating elements.
+    use std::sync::Arc;
+    let tree = Arc::new(ChromaticTree::<u64, u64>::new());
+    // Deterministic seed batch so the merged-install counter is provably
+    // exercised even if every contended install below falls back.
+    tree.insert_bulk(&(0..64u64).map(|k| (k, 0)).collect::<Vec<_>>());
+    assert!(tree.stats().merged_insert_scxs() >= 1);
+    std::thread::scope(|s| {
+        for tid in 0..3u64 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                use rand::{rngs::StdRng, Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(tid);
+                for _ in 0..30 {
+                    let base = rng.gen_range(0..8u64) * 64;
+                    let batch: Vec<(u64, u64)> = (base..base + 64).map(|k| (k, tid)).collect();
+                    let results = tree.insert_bulk(&batch);
+                    assert_eq!(results.len(), batch.len());
+                }
+            });
+        }
+        {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                use rand::{rngs::StdRng, Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(77);
+                for _ in 0..30 {
+                    let base = rng.gen_range(0..8u64) * 64;
+                    let keys: Vec<u64> = (base..base + 64).collect();
+                    let removed = tree.remove_bulk(&keys);
+                    assert_eq!(removed.len(), keys.len());
+                }
+            });
+        }
+    });
+    let report = tree.audit();
+    assert!(report.is_valid(), "{:?}", report.errors);
     let snap = tree.collect();
     assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
 }

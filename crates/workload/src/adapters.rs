@@ -68,15 +68,16 @@ impl ConcurrentMap for ChromaticShard {
     }
     fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
         // The façade hands each per-shard group here whole, so the group
-        // gets the tree's sorted-bulk path (shared search-path prefixes),
-        // not the per-element trait default.
+        // gets the tree's sorted-bulk path (shared search-path prefixes
+        // and same-leaf run merging), not the per-element trait default.
         self.0.insert_bulk(batch)
     }
     fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
         batched_chunked(keys, |k| self.0.get(k))
     }
     fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        batched_chunked(keys, |k| self.0.remove(k))
+        // Sorted-bulk removal with sibling-pair SCX collapsing.
+        self.0.remove_bulk(keys)
     }
 }
 
@@ -172,7 +173,7 @@ impl ConcurrentMap for NamedChromatic {
         batched_chunked(keys, |k| self.inner.get(k))
     }
     fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        batched_chunked(keys, |k| self.inner.remove(k))
+        self.inner.remove_bulk(keys)
     }
 }
 
@@ -328,6 +329,22 @@ impl HybridShard {
             .unwrap();
         f()
     }
+
+    /// Locks every stripe a batch chunk touches, in ascending stripe
+    /// order. Point ops take exactly one latch (trivially consistent with
+    /// any order) and every batch writer sorts, so the acquisition order
+    /// is global and deadlock-free; holding the whole set lets the tree
+    /// tier run its *bulk* path (run merging included) against a hash
+    /// tier that cannot change under the same keys mid-batch.
+    fn latch_chunk(&self, keys: impl Iterator<Item = u64>) -> Vec<std::sync::MutexGuard<'_, ()>> {
+        let mut stripes: Vec<usize> = keys.map(|k| (k as usize) & (HYBRID_LATCHES - 1)).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        stripes
+            .into_iter()
+            .map(|s| self.latches[s].lock().unwrap())
+            .collect()
+    }
 }
 
 impl ConcurrentMap for HybridShard {
@@ -364,21 +381,26 @@ impl ConcurrentMap for HybridShard {
     fn len(&self) -> usize {
         self.hash.len()
     }
-    // Batches: one weighted pin per repin-cadence chunk (hash tier ops
-    // run under it; the tree ops nest and take the cheap re-entrant
-    // path), with the same per-key latching as the point ops.
+    // Batches: one weighted pin per repin-cadence chunk, the chunk's
+    // stripe latches taken as a sorted set ([`Self::latch_chunk`]) so the
+    // tree tier can run its *bulk* path — cached-path descent plus
+    // same-leaf run merging / sibling-pair collapsing — instead of one
+    // point op per element. The hash tier is still written first and
+    // remains authoritative; with the stripes held, no point writer can
+    // slip a same-key mutation between the two tier writes.
     fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
         let mut out = Vec::with_capacity(batch.len());
         for chunk in batch.chunks(llxscx::guard_cache::REPIN_OPS as usize) {
+            let _latches = self.latch_chunk(chunk.iter().map(|&(k, _)| k));
             llxscx::guard_cache::with_guard_weighted(chunk.len() as u32, |g| {
-                out.extend(chunk.iter().map(|&(k, v)| {
-                    self.latched(k, || {
-                        let displaced = self.hash.insert_in(k, v, g);
-                        let tree_displaced = self.tree.insert(k, v);
-                        debug_assert_eq!(displaced, tree_displaced);
-                        displaced
-                    })
-                }));
+                let displaced: Vec<Option<u64>> = chunk
+                    .iter()
+                    .map(|&(k, v)| self.hash.insert_in(k, v, g))
+                    .collect();
+                // Nested pin: the bulk path re-enters the cached guard.
+                let tree_displaced = self.tree.insert_bulk(chunk);
+                debug_assert_eq!(displaced, tree_displaced, "tiers diverged in insert_batch");
+                out.extend(displaced);
             });
         }
         out
@@ -386,15 +408,13 @@ impl ConcurrentMap for HybridShard {
     fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
         let mut out = Vec::with_capacity(keys.len());
         for chunk in keys.chunks(llxscx::guard_cache::REPIN_OPS as usize) {
+            let _latches = self.latch_chunk(chunk.iter().copied());
             llxscx::guard_cache::with_guard_weighted(chunk.len() as u32, |g| {
-                out.extend(chunk.iter().map(|k| {
-                    self.latched(*k, || {
-                        let removed = self.hash.remove_in(k, g);
-                        let tree_removed = self.tree.remove(k);
-                        debug_assert_eq!(removed, tree_removed);
-                        removed
-                    })
-                }));
+                let removed: Vec<Option<u64>> =
+                    chunk.iter().map(|k| self.hash.remove_in(k, g)).collect();
+                let tree_removed = self.tree.remove_bulk(chunk);
+                debug_assert_eq!(removed, tree_removed, "tiers diverged in remove_batch");
+                out.extend(removed);
             });
         }
         out

@@ -43,6 +43,13 @@ pub struct Mix {
     /// Mops/s stays comparable with point-op runs. See
     /// [`with_batch`](Mix::with_batch).
     pub batch: u32,
+    /// Key clustering within a batch: each random draw yields a *run* of
+    /// this many consecutive keys (`base, base+1, …`). `1` (the default)
+    /// is the uniform flavor; `r > 1` makes batches land runs of keys on
+    /// shared leaves, the shape the chromatic tree's single-SCX run
+    /// merging is built for. Ignored when `batch == 1`. See
+    /// [`with_run`](Mix::with_run).
+    pub run: u32,
 }
 
 impl Mix {
@@ -63,6 +70,7 @@ impl Mix {
             ranges: 0,
             range_width: 0,
             batch: 1,
+            run: 1,
         }
     }
 
@@ -98,10 +106,27 @@ impl Mix {
         self
     }
 
+    /// Clusters batched keys into runs of `r` consecutive keys per random
+    /// draw (`xi-yd-bn-cr` notation): a batch of 64 with `r = 8` is eight
+    /// random bases, each expanded to `base..base + 8`. This is the
+    /// workload axis for the run-merging bulk paths — consecutive keys
+    /// share destination leaves, so a merged install replaces `r` SCXs
+    /// with one. `r = 1` restores uniform draws. Only meaningful on a
+    /// batched mix.
+    pub const fn with_run(mut self, r: u32) -> Mix {
+        assert!(r >= 1, "run length must be at least 1");
+        assert!(
+            self.batch > 1 || r == 1,
+            "clustered runs only apply to batched mixes; set batch first"
+        );
+        self.run = r;
+        self
+    }
+
     /// `xi-yd` label as used in the paper, extended to `xi-yd-zr` when the
-    /// mix includes range scans and suffixed `-bn` when it is batched
-    /// (pure-update point labels are unchanged so existing artifacts keep
-    /// their keys).
+    /// mix includes range scans, suffixed `-bn` when it is batched and
+    /// `-cr` when the batch keys are clustered into runs (pure-update
+    /// point labels are unchanged so existing artifacts keep their keys).
     ///
     /// Allocation-free: formats into a fixed inline buffer. The previous
     /// `String`-returning version was called from measurement loops and put
@@ -126,6 +151,11 @@ impl Mix {
             out.push_byte(b'b');
             out.push_u32(self.batch);
         }
+        if self.run > 1 {
+            out.push_byte(b'-');
+            out.push_byte(b'c');
+            out.push_u32(self.run);
+        }
         out
     }
 
@@ -143,8 +173,8 @@ impl Mix {
 }
 
 /// Capacity of [`MixLabel`]'s inline buffer
-/// (`"100i-100d-100r-b4294967295"` is 26 bytes).
-const MIX_LABEL_CAP: usize = 28;
+/// (`"100i-100d-100r-b4294967295-c4294967295"` is 38 bytes).
+const MIX_LABEL_CAP: usize = 40;
 
 /// A stack-allocated `xi-yd` mix label; dereferences to `str`.
 #[derive(Clone, Copy)]
@@ -276,23 +306,36 @@ pub fn run_trial(
                     let b = mix.batch as usize;
                     let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(b);
                     let mut keys: Vec<u64> = Vec::with_capacity(b);
+                    // With `mix.run > 1` each draw expands to a run of
+                    // consecutive keys, clamped so runs stay inside the key
+                    // range; the final run is truncated to the batch size.
+                    let fill = |rng: &mut StdRng, keys: &mut Vec<u64>| {
+                        keys.clear();
+                        if mix.run <= 1 {
+                            keys.extend((0..b).map(|_| rng.gen_range(0..range)));
+                        } else {
+                            let r = mix.run as u64;
+                            let base_lim = range.saturating_sub(r - 1).max(1);
+                            while keys.len() < b {
+                                let base = rng.gen_range(0..base_lim);
+                                let n = (b - keys.len()).min(r as usize) as u64;
+                                keys.extend(base..base + n);
+                            }
+                        }
+                    };
                     start_gate.wait();
                     while !stop.load(Ordering::Relaxed) {
                         let dice = rng.gen_range(0..100);
                         if dice < mix.inserts {
+                            fill(&mut rng, &mut keys);
                             pairs.clear();
-                            pairs.extend((0..b).map(|_| {
-                                let k = rng.gen_range(0..range);
-                                (k, k)
-                            }));
+                            pairs.extend(keys.iter().map(|&k| (k, k)));
                             std::hint::black_box(map.insert_batch(&pairs));
                         } else if dice < mix.inserts + mix.deletes {
-                            keys.clear();
-                            keys.extend((0..b).map(|_| rng.gen_range(0..range)));
+                            fill(&mut rng, &mut keys);
                             std::hint::black_box(map.remove_batch(&keys));
                         } else {
-                            keys.clear();
-                            keys.extend((0..b).map(|_| rng.gen_range(0..range)));
+                            fill(&mut rng, &mut keys);
                             std::hint::black_box(map.get_batch(&keys));
                         }
                         ops += b as u64;
@@ -615,6 +658,19 @@ mod tests {
     }
 
     #[test]
+    fn clustered_batched_trial_runs_and_merges_runs() {
+        // A clustered insert-heavy batch trial on the bare chromatic tree
+        // must exercise the merged-install path (visible in its stats).
+        let cfg = SuiteConfig::default().for_key_range(1 << 14);
+        let map = make_map("chromatic", &cfg).unwrap();
+        let mix = Mix::updates(80, 20).with_batch(64).with_run(8);
+        prefill(map.as_ref(), 1 << 14, mix, 3);
+        let r = run_trial(map.as_ref(), 2, mix, 1 << 14, Duration::from_millis(80), 11);
+        assert!(r.ops > 0);
+        assert_eq!(r.ops % 64, 0, "ops must come in whole batches");
+    }
+
+    #[test]
     fn mix_labels() {
         assert_eq!(Mix::updates(20, 10).label().as_str(), "20i-10d");
         assert_eq!(
@@ -633,6 +689,23 @@ mod tests {
             Mix::updates(100, 0).with_batch(1).label().as_str(),
             "100i-0d",
             "batch 1 is the point flavor and keeps the point label"
+        );
+        assert_eq!(
+            Mix::updates(100, 0)
+                .with_batch(64)
+                .with_run(8)
+                .label()
+                .as_str(),
+            "100i-0d-b64-c8"
+        );
+        assert_eq!(
+            Mix::updates(0, 100)
+                .with_batch(64)
+                .with_run(1)
+                .label()
+                .as_str(),
+            "0i-100d-b64",
+            "run 1 is the uniform flavor and keeps the plain batch label"
         );
     }
 

@@ -67,11 +67,13 @@ fn each_structure_matches_btreemap() {
 fn trait_batch_ops_match_per_element_application_on_every_structure() {
     // The batch-equivalence oracle: on every registered structure
     // (including `sharded`, whose override regroups by shard, and the
-    // chromatic entries, whose override is the sorted-bulk insert), the
-    // trait-level batch entry points must return exactly what sequential
-    // per-element application returns — displaced values in input order,
-    // duplicate keys resolving in batch order — and leave identical
-    // contents behind.
+    // chromatic entries, whose overrides are the sorted-bulk
+    // insert/remove with single-SCX run merging), the trait-level batch
+    // entry points must return exactly what sequential per-element
+    // application returns — displaced values in input order, duplicate
+    // keys resolving in batch order — and leave identical contents
+    // behind. One round flavor builds clustered consecutive-key runs,
+    // the shape the merge paths collapse.
     use rand::{rngs::StdRng, Rng, SeedableRng};
     for name in ALL_MAPS {
         let batched = make_map(name, &cfg()).unwrap();
@@ -79,7 +81,7 @@ fn trait_batch_ops_match_per_element_application_on_every_structure() {
         let mut rng = StdRng::seed_from_u64(4242);
         for round in 0..150u64 {
             let len = rng.gen_range(0..40usize);
-            match rng.gen_range(0..3) {
+            match rng.gen_range(0..4) {
                 0 => {
                     // Small key range: plenty of in-batch duplicates.
                     let batch: Vec<(u64, u64)> = (0..len)
@@ -102,7 +104,7 @@ fn trait_batch_ops_match_per_element_application_on_every_structure() {
                         "{name} remove_batch {keys:?}"
                     );
                 }
-                _ => {
+                2 => {
                     let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..200)).collect();
                     let expect: Vec<_> = keys.iter().map(|k| pointwise.get(k)).collect();
                     assert_eq!(
@@ -110,6 +112,37 @@ fn trait_batch_ops_match_per_element_application_on_every_structure() {
                         expect,
                         "{name} get_batch {keys:?}"
                     );
+                }
+                _ => {
+                    // Clustered runs: random bases expanded to consecutive
+                    // keys — maximal same-leaf runs for the chromatic
+                    // merge paths. Alternate rounds insert and remove, so
+                    // sibling-pair collapses fire on leaves the previous
+                    // clustered round installed.
+                    let mut keys: Vec<u64> = Vec::new();
+                    while keys.len() < len {
+                        let base = rng.gen_range(0..200u64);
+                        let r = rng.gen_range(1..9usize).min(len - keys.len());
+                        keys.extend(base..base + r as u64);
+                    }
+                    if round % 2 == 0 {
+                        let batch: Vec<(u64, u64)> =
+                            keys.iter().map(|&k| (k, round * 100)).collect();
+                        let expect: Vec<_> =
+                            batch.iter().map(|&(k, v)| pointwise.insert(k, v)).collect();
+                        assert_eq!(
+                            batched.insert_batch(&batch),
+                            expect,
+                            "{name} clustered insert_batch {batch:?}"
+                        );
+                    } else {
+                        let expect: Vec<_> = keys.iter().map(|k| pointwise.remove(k)).collect();
+                        assert_eq!(
+                            batched.remove_batch(&keys),
+                            expect,
+                            "{name} clustered remove_batch {keys:?}"
+                        );
+                    }
                 }
             }
         }
