@@ -1,13 +1,19 @@
 //! The CI throughput gate: compares two labeled runs inside one bench
 //! artifact (written by `bench_fig8` / `bench_range`, which label-merge)
 //! and exits non-zero when any *(structure, mix, threads)* point slowed
-//! down by more than the tolerance.
+//! down by more than the tolerance — or, with `--p99-tolerance`, when a
+//! point's p99 latency grew past the tail tolerance.
 //!
 //! ```text
 //! cargo run -p bench --bin bench_fig8 -- --label baseline --out gate.json   # at the base ref
 //! cargo run -p bench --bin bench_fig8 -- --label pr       --out gate.json   # at the PR head
-//! cargo run -p bench --bin bench_gate -- --file gate.json --baseline baseline --candidate pr
+//! cargo run -p bench --bin bench_gate -- --file gate.json --baseline baseline --candidate pr \
+//!     --p99-tolerance 1.0 --summary summary.md
 //! ```
+//!
+//! Exit codes: `0` pass, `1` regression or dropped point, `2` usage /
+//! unreadable artifact, `3` every cell skipped (oversubscribed host) —
+//! distinct so CI can't silently pass on a starved runner.
 
 use bench::gate::compare;
 use bench::json::Json;
@@ -20,6 +26,12 @@ fn main() {
     // Baseline points slower than this (Mops/s) are reported but never
     // fail the gate: with CI smoke budgets they are dominated by noise.
     let mut min_mops = 0.01f64;
+    // Off unless asked for: old artifacts carry no percentiles, and the
+    // tail check is meaningful only when the caller knows both runs do.
+    let mut p99_tolerance: Option<f64> = None;
+    // Markdown destination for the rendered per-cell table (appended —
+    // CI passes $GITHUB_STEP_SUMMARY).
+    let mut summary: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -38,11 +50,20 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--min-mops needs a float")
             }
+            "--p99-tolerance" => {
+                p99_tolerance = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--p99-tolerance needs a float"),
+                )
+            }
+            "--summary" => summary = Some(args.next().expect("--summary needs a path")),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_gate [--file PATH] [--baseline LABEL] [--candidate LABEL] \
-                     [--tolerance FRACTION] [--min-mops MOPS]"
+                     [--tolerance FRACTION] [--min-mops MOPS] [--p99-tolerance FRACTION] \
+                     [--summary PATH]"
                 );
                 std::process::exit(2);
             }
@@ -51,7 +72,14 @@ fn main() {
 
     let text = std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
     let doc = Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {file}: {e}"));
-    let report = match compare(&doc, &baseline, &candidate, tolerance, min_mops) {
+    let report = match compare(
+        &doc,
+        &baseline,
+        &candidate,
+        tolerance,
+        min_mops,
+        p99_tolerance,
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench_gate: {e}");
@@ -60,21 +88,37 @@ fn main() {
     };
 
     println!(
-        "bench gate: `{candidate}` vs `{baseline}` (tolerance {:.0}%)",
-        tolerance * 100.0
+        "bench gate: `{candidate}` vs `{baseline}` (tolerance {:.0}%{})",
+        tolerance * 100.0,
+        match p99_tolerance {
+            Some(t) => format!(", p99 tolerance {:.0}%", t * 100.0),
+            None => String::new(),
+        }
     );
     for p in &report.points {
+        let status = match (p.regressed, p.tail_regressed) {
+            (false, false) => "ok       ",
+            (true, _) => "REGRESSED",
+            (false, true) => "TAIL REGR",
+        };
+        let tail = match (p.base_lat, p.cand_lat) {
+            (Some((_, b, _)), Some((_, c, _))) => {
+                format!(
+                    "  p99 {} -> {}",
+                    bench::fmt_ns(b as u64),
+                    bench::fmt_ns(c as u64)
+                )
+            }
+            _ => String::new(),
+        };
         println!(
-            "  {} {:>24}  {:.3} -> {:.3} Mops/s  ({:+.1}%)",
-            if p.regressed {
-                "REGRESSED"
-            } else {
-                "ok       "
-            },
+            "  {} {:>24}  {:.3} -> {:.3} Mops/s  ({:+.1}%){}",
+            status,
             p.key,
             p.base,
             p.cand,
-            p.delta * 100.0
+            p.delta * 100.0,
+            tail
         );
     }
     for key in &report.skipped {
@@ -82,6 +126,26 @@ fn main() {
     }
     for key in &report.missing {
         println!("  MISSING   {key:>24}  present in baseline, absent in candidate");
+    }
+
+    if let Some(path) = summary {
+        use std::io::Write as _;
+        let table = report.render_summary(&baseline, &candidate);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        f.write_all(table.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+
+    if report.all_skipped() {
+        println!(
+            "gate INCONCLUSIVE: all {} cells skipped as oversubscribed — nothing compared",
+            report.skipped.len()
+        );
+        std::process::exit(3);
     }
     if report.passed() {
         println!(
@@ -91,7 +155,7 @@ fn main() {
         );
     } else {
         println!(
-            "gate FAILED: {} of {} points regressed more than {:.0}%, {} dropped",
+            "gate FAILED: {} of {} points regressed (tolerance {:.0}%), {} dropped",
             report.regressions().len(),
             report.points.len(),
             tolerance * 100.0,

@@ -56,7 +56,8 @@ fn main() {
         for mix in Mix::ALL {
             let mix_label = mix.label();
             for &t in &threads {
-                let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
+                let (mops, trial_results) =
+                    measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
                 eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
                 let mut row = vec![
                     ("structure", Json::Str(structure.to_string())),
@@ -64,6 +65,7 @@ fn main() {
                     ("threads", Json::Num(t as f64)),
                     ("mops", Json::Num(mops)),
                 ];
+                row.extend(bench::latency_fields(&trial_results));
                 row.extend(bench::provenance(t));
                 results.push(Json::obj(row));
             }

@@ -71,7 +71,8 @@ fn main() {
         for mix in mixes {
             let mix_label = mix.label();
             for &t in &threads {
-                let (mops, _) = measure(name, &cfg, t, mix, range, duration, n_trials, 42);
+                let (mops, trial_results) =
+                    measure(name, &cfg, t, mix, range, duration, n_trials, 42);
                 eprintln!("  {name} {mix_label} threads={t}: {mops:.3} Mops/s");
                 let mut row = vec![
                     ("structure", Json::Str(name.to_string())),
@@ -79,6 +80,7 @@ fn main() {
                     ("threads", Json::Num(t as f64)),
                     ("mops", Json::Num(mops)),
                 ];
+                row.extend(bench::latency_fields(&trial_results));
                 row.extend(bench::provenance(t));
                 results.push(Json::obj(row));
             }

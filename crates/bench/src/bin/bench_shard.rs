@@ -1,5 +1,5 @@
-//! Machine-readable sharding + batching snapshot: the paper's three
-//! operation mixes on the unsharded chromatic tree vs. the
+//! Machine-readable sharding + batching + skew snapshot: the paper's
+//! three operation mixes on the unsharded chromatic tree vs. the
 //! range-partitioned façade (`sharded`, chromatic shards) across a thread
 //! sweep, **plus a batch-size sweep** (1/8/64/512) driving the
 //! trait-level batch entry points through the standard harness — all
@@ -23,6 +23,13 @@
 //! installs over per-element bulk descent, and `batched/point` the
 //! end-to-end payoff over point ops.
 //!
+//! The **skew tier** sweeps zipfian key popularity (θ ∈ {0.0, 0.9, 1.2},
+//! `-zT` suffix, `theta` field) over chromatic / sharded / hybrid on the
+//! moderate-churn mix — the scenario where the hash tier's O(1) point
+//! path and the façade's load distribution either pay off or collapse
+//! onto a hot shard. Skew rows carry latency percentiles like every
+//! other row, and the tail is where skew shows first.
+//!
 //! The façade's boundary table is sized to the benchmark's key range
 //! through the typed `SuiteConfig` (an explicit `NBTREE_SHARD_SPAN`
 //! still wins), so shards receive equal load — the deployment
@@ -32,7 +39,8 @@
 //! `NBTREE_BENCH_THREADS` (default `1,2,4,8`), `NBTREE_BENCH_RANGES`
 //! (first entry is the key range; default 10000), `NBTREE_SHARDS`
 //! (default 8); `--label NAME`, `--out PATH` (default
-//! `BENCH_shard.json`).
+//! `BENCH_shard.json`), `--tier all|point|batch|leafmerge|skew`
+//! (default `all` = every tier).
 
 use bench::json::Json;
 use bench::{bench_threads, first_key_range, trial_duration, trials};
@@ -56,6 +64,16 @@ const RUNS: [u32; 3] = [1, 8, 64];
 /// is a single maximal run.
 const RUN_BATCH: u32 = 64;
 
+/// Zipfian exponents of the skew sweep: uniform control, the YCSB
+/// default, and past-1 skew where the hottest key alone draws a constant
+/// fraction of all operations.
+const THETAS: [f64; 3] = [0.0, 0.9, 1.2];
+
+/// Structures of the skew sweep: the tree, the façade (does skew
+/// collapse onto one shard?), and the hash-fronted hybrid (does O(1)
+/// point access absorb the hot keys?).
+const SKEW_STRUCTURES: [&str; 3] = ["chromatic", "sharded", "hybrid"];
+
 /// Mixes of the leafmerge sweep: pure inserts drive the mini-subtree
 /// installs; maximal churn at a half-full steady state drives both merge
 /// paths (insert batches install 64-key runs, so the present keys remove
@@ -73,18 +91,28 @@ fn leafmerge_mixes() -> [Mix; 3] {
 fn main() {
     let mut label = String::from("current");
     let mut out_path = String::from("BENCH_shard.json");
+    let mut tier = String::from("all");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out_path = args.next().expect("--out needs a value"),
+            "--tier" => tier = args.next().expect("--tier needs a value"),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: bench_shard [--label NAME] [--out PATH]");
+                eprintln!(
+                    "usage: bench_shard [--label NAME] [--out PATH] \
+                     [--tier all|point|batch|leafmerge|skew]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if !["all", "point", "batch", "leafmerge", "skew"].contains(&tier.as_str()) {
+        eprintln!("unknown tier `{tier}` (want all|point|batch|leafmerge|skew)");
+        std::process::exit(2);
+    }
+    let want = |t: &str| tier == "all" || tier == t;
 
     let duration = trial_duration();
     let n_trials = trials();
@@ -97,56 +125,66 @@ fn main() {
     let shards = cfg.shards();
 
     eprintln!(
-        "# bench_shard: label={label} range={range} shards={shards} \
+        "# bench_shard: label={label} tier={tier} range={range} shards={shards} \
          threads={threads:?} {n_trials} trial(s) x {duration:?}"
     );
 
     let mut results = Vec::new();
+    let cell = |structure: &str,
+                mix: Mix,
+                t: usize,
+                extra: &[(&'static str, Json)],
+                results: &mut Vec<Json>| {
+        let mix_label = mix.label();
+        let (mops, trial_results) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
+        eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
+        let mut row = vec![
+            ("structure", Json::Str(structure.to_string())),
+            ("mix", Json::Str(mix_label.to_string())),
+            ("threads", Json::Num(t as f64)),
+            ("mops", Json::Num(mops)),
+        ];
+        row.extend(extra.iter().cloned());
+        row.extend(bench::latency_fields(&trial_results));
+        row.extend(bench::provenance(t));
+        results.push(Json::obj(row));
+    };
+
     // Point-op sweep: sharded vs unsharded on the paper's mixes.
-    for structure in ["chromatic", "sharded"] {
-        for mix in Mix::ALL {
-            let mix_label = mix.label();
-            for &t in &threads {
-                let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
-                eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
-                let mut row = vec![
-                    ("structure", Json::Str(structure.to_string())),
-                    ("mix", Json::Str(mix_label.to_string())),
-                    ("threads", Json::Num(t as f64)),
-                    ("mops", Json::Num(mops)),
-                ];
-                row.extend(bench::provenance(t));
-                results.push(Json::obj(row));
+    if want("point") {
+        for structure in ["chromatic", "sharded"] {
+            for mix in Mix::ALL {
+                for &t in &threads {
+                    cell(structure, mix, t, &[], &mut results);
+                }
             }
         }
     }
     // Batch-size sweep: the same harness, with the mixes' batch knob
     // driving insert_batch / remove_batch / get_batch.
-    for structure in ["chromatic", "sharded"] {
-        for base in batch_mixes() {
-            for b in BATCHES {
-                // b = 1 is the point flavor and keeps the point label; for
-                // mixes the point sweep above already measured, re-running
-                // it would emit a second row under the same
-                // (structure, mix, threads) key. The speedup lookups below
-                // then use the point-sweep cell as the b1 baseline.
-                if b == 1 && Mix::ALL.contains(&base) {
-                    continue;
-                }
-                let mix = base.with_batch(b);
-                let mix_label = mix.label();
-                for &t in &threads {
-                    let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
-                    eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
-                    let mut row = vec![
-                        ("structure", Json::Str(structure.to_string())),
-                        ("mix", Json::Str(mix_label.to_string())),
-                        ("batch", Json::Num(b as f64)),
-                        ("threads", Json::Num(t as f64)),
-                        ("mops", Json::Num(mops)),
-                    ];
-                    row.extend(bench::provenance(t));
-                    results.push(Json::obj(row));
+    if want("batch") {
+        for structure in ["chromatic", "sharded"] {
+            for base in batch_mixes() {
+                for b in BATCHES {
+                    // b = 1 is the point flavor and keeps the point label;
+                    // for mixes the point sweep above already measured,
+                    // re-running it would emit a second row under the same
+                    // (structure, mix, threads) key. The speedup lookups
+                    // below then use the point-sweep cell as the b1
+                    // baseline.
+                    if b == 1 && Mix::ALL.contains(&base) && want("point") {
+                        continue;
+                    }
+                    let mix = base.with_batch(b);
+                    for &t in &threads {
+                        cell(
+                            structure,
+                            mix,
+                            t,
+                            &[("batch", Json::Num(b as f64))],
+                            &mut results,
+                        );
+                    }
                 }
             }
         }
@@ -154,33 +192,45 @@ fn main() {
     // Leafmerge sweep: clustered-run batches at a fixed batch size. The
     // `r = 1` (uniform) and `b1` (point) baselines for `100i-0d` already
     // exist in the batch sweep; `0i-100d` measures its own.
-    for structure in ["chromatic", "sharded"] {
-        for base in leafmerge_mixes() {
-            let mut cells: Vec<Mix> = Vec::new();
-            if !batch_mixes().contains(&base) {
-                cells.push(base); // b1 point baseline
-                cells.push(base.with_batch(RUN_BATCH)); // uniform b64 baseline
+    if want("leafmerge") {
+        for structure in ["chromatic", "sharded"] {
+            for base in leafmerge_mixes() {
+                let mut cells: Vec<Mix> = Vec::new();
+                if !batch_mixes().contains(&base) || !want("batch") {
+                    cells.push(base); // b1 point baseline
+                    cells.push(base.with_batch(RUN_BATCH)); // uniform b64 baseline
+                }
+                cells.extend(
+                    RUNS.iter()
+                        .filter(|&&r| r > 1)
+                        .map(|&r| base.with_batch(RUN_BATCH).with_run(r)),
+                );
+                for mix in cells {
+                    for &t in &threads {
+                        let extra = [
+                            ("batch", Json::Num(mix.batch as f64)),
+                            ("run", Json::Num(mix.run as f64)),
+                        ];
+                        cell(structure, mix, t, &extra, &mut results);
+                    }
+                }
             }
-            cells.extend(
-                RUNS.iter()
-                    .filter(|&&r| r > 1)
-                    .map(|&r| base.with_batch(RUN_BATCH).with_run(r)),
-            );
-            for mix in cells {
-                let mix_label = mix.label();
+        }
+    }
+    // Skew sweep: zipfian key popularity over the point-op structures,
+    // moderate churn. θ = 0 is the uniform control cell (plain label).
+    if want("skew") {
+        for structure in SKEW_STRUCTURES {
+            for theta in THETAS {
+                let mix = Mix::updates(20, 10).with_zipf(theta);
                 for &t in &threads {
-                    let (mops, _) = measure(structure, &cfg, t, mix, range, duration, n_trials, 42);
-                    eprintln!("  {structure} {mix_label} threads={t}: {mops:.3} Mops/s");
-                    let mut row = vec![
-                        ("structure", Json::Str(structure.to_string())),
-                        ("mix", Json::Str(mix_label.to_string())),
-                        ("batch", Json::Num(mix.batch as f64)),
-                        ("run", Json::Num(mix.run as f64)),
-                        ("threads", Json::Num(t as f64)),
-                        ("mops", Json::Num(mops)),
-                    ];
-                    row.extend(bench::provenance(t));
-                    results.push(Json::obj(row));
+                    cell(
+                        structure,
+                        mix,
+                        t,
+                        &[("theta", Json::Num(theta))],
+                        &mut results,
+                    );
                 }
             }
         }
@@ -199,34 +249,38 @@ fn main() {
     };
 
     // Per-cell chromatic→sharded speedups, for humans reading the log.
-    for mix in Mix::ALL {
-        let mix_label = mix.label();
-        for &t in &threads {
-            let (un, sh) = (
-                mops_of("chromatic", &mix_label, t),
-                mops_of("sharded", &mix_label, t),
-            );
-            eprintln!(
-                "  speedup {mix_label} threads={t}: sharded/chromatic = {:.2}x",
-                sh / un
-            );
+    if want("point") {
+        for mix in Mix::ALL {
+            let mix_label = mix.label();
+            for &t in &threads {
+                let (un, sh) = (
+                    mops_of("chromatic", &mix_label, t),
+                    mops_of("sharded", &mix_label, t),
+                );
+                eprintln!(
+                    "  speedup {mix_label} threads={t}: sharded/chromatic = {:.2}x",
+                    sh / un
+                );
+            }
         }
     }
     // Per-cell batched-vs-point speedups (batch N against the b1 cell of
     // the same structure/mix/threads).
-    for structure in ["chromatic", "sharded"] {
-        for base in batch_mixes() {
-            let point_label = base.with_batch(1).label();
-            for &b in &BATCHES[1..] {
-                let batch_label = base.with_batch(b).label();
-                for &t in &threads {
-                    let point = mops_of(structure, &point_label, t);
-                    let batched = mops_of(structure, &batch_label, t);
-                    eprintln!(
-                        "  speedup {structure} {batch_label} threads={t}: \
-                         batched/point = {:.2}x",
-                        batched / point
-                    );
+    if want("batch") {
+        for structure in ["chromatic", "sharded"] {
+            for base in batch_mixes() {
+                let point_label = base.with_batch(1).label();
+                for &b in &BATCHES[1..] {
+                    let batch_label = base.with_batch(b).label();
+                    for &t in &threads {
+                        let point = mops_of(structure, &point_label, t);
+                        let batched = mops_of(structure, &batch_label, t);
+                        eprintln!(
+                            "  speedup {structure} {batch_label} threads={t}: \
+                             batched/point = {:.2}x",
+                            batched / point
+                        );
+                    }
                 }
             }
         }
@@ -234,21 +288,42 @@ fn main() {
     // Leafmerge speedups: clustered cells against the uniform b64 cell
     // (isolates run merging against per-element bulk descent) and against
     // the point b1 cell (the end-to-end batching payoff).
-    for structure in ["chromatic", "sharded"] {
-        for base in leafmerge_mixes() {
-            let point_label = base.label();
-            let uniform_label = base.with_batch(RUN_BATCH).label();
-            for &r in RUNS.iter().filter(|&&r| r > 1) {
-                let run_label = base.with_batch(RUN_BATCH).with_run(r).label();
+    if want("leafmerge") {
+        for structure in ["chromatic", "sharded"] {
+            for base in leafmerge_mixes() {
+                let point_label = base.label();
+                let uniform_label = base.with_batch(RUN_BATCH).label();
+                for &r in RUNS.iter().filter(|&&r| r > 1) {
+                    let run_label = base.with_batch(RUN_BATCH).with_run(r).label();
+                    for &t in &threads {
+                        let point = mops_of(structure, &point_label, t);
+                        let uniform = mops_of(structure, &uniform_label, t);
+                        let clustered = mops_of(structure, &run_label, t);
+                        eprintln!(
+                            "  speedup {structure} {run_label} threads={t}: \
+                             clustered/uniform = {:.2}x, batched/point = {:.2}x",
+                            clustered / uniform,
+                            clustered / point
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Skew ratios: each skewed cell against its structure's uniform
+    // (θ = 0) control — how much of the throughput survives the hot keys.
+    if want("skew") {
+        for structure in SKEW_STRUCTURES {
+            let uniform_label = Mix::updates(20, 10).label();
+            for &theta in THETAS.iter().filter(|&&th| th > 0.0) {
+                let skew_label = Mix::updates(20, 10).with_zipf(theta).label();
                 for &t in &threads {
-                    let point = mops_of(structure, &point_label, t);
                     let uniform = mops_of(structure, &uniform_label, t);
-                    let clustered = mops_of(structure, &run_label, t);
+                    let skewed = mops_of(structure, &skew_label, t);
                     eprintln!(
-                        "  speedup {structure} {run_label} threads={t}: \
-                         clustered/uniform = {:.2}x, batched/point = {:.2}x",
-                        clustered / uniform,
-                        clustered / point
+                        "  skew {structure} {skew_label} threads={t}: \
+                         skewed/uniform = {:.2}x",
+                        skewed / uniform
                     );
                 }
             }
@@ -257,6 +332,7 @@ fn main() {
 
     let run = Json::obj(vec![
         ("label", Json::Str(label.clone())),
+        ("tier", Json::Str(tier.clone())),
         ("range", Json::Num(range as f64)),
         ("shards", Json::Num(shards as f64)),
         ("duration_secs", Json::Num(duration.as_secs_f64())),

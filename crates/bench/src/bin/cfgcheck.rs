@@ -2,8 +2,12 @@
 //! first-party `*.rs` file for the retired environment-mutation idioms
 //! (`std::env` mutation, the old shard-span pinning helpers, and
 //! suite-construction env parsing outside `workload::config`) and exits
-//! non-zero listing the offenders. CI runs it in the docs job next to
-//! `linkcheck`; locally:
+//! non-zero listing the offenders. It also runs the **hot-loop gate**:
+//! the `cfgcheck:hotloop` regions of `run_trial` (the measured loops
+//! between barrier and stop flag) must stay free of OS-clock
+//! timestamping and allocation idioms, so the latency percentiles keep
+//! measuring the structures rather than the harness. CI runs both in the
+//! docs job next to `linkcheck`; locally:
 //!
 //! ```sh
 //! cargo run --release -p bench --bin cfgcheck
@@ -18,18 +22,45 @@ fn main() {
         .and_then(|p| p.parent())
         .expect("bench crate sits two levels under the repo root")
         .to_path_buf();
+    let mut failed = false;
+
     let hits = bench::cfggate::scan_repo(&root);
     if hits.is_empty() {
         println!("cfgcheck: configuration discipline holds (no forbidden idioms)");
-        return;
+    } else {
+        failed = true;
+        eprintln!(
+            "cfgcheck: {} forbidden configuration idiom(s) — suite-construction \
+             knobs must flow through workload::SuiteConfig, never the environment:",
+            hits.len()
+        );
+        for hit in &hits {
+            eprintln!("  {}:{}: `{}`", hit.path.display(), hit.line, hit.token);
+        }
     }
-    eprintln!(
-        "cfgcheck: {} forbidden configuration idiom(s) — suite-construction \
-         knobs must flow through workload::SuiteConfig, never the environment:",
-        hits.len()
-    );
-    for hit in &hits {
-        eprintln!("  {}:{}: `{}`", hit.path.display(), hit.line, hit.token);
+
+    match bench::cfggate::scan_hotloop_repo(&root) {
+        Ok(hits) if hits.is_empty() => {
+            println!("cfgcheck: run_trial hot loops are clean (no timing/allocation idioms)");
+        }
+        Ok(hits) => {
+            failed = true;
+            eprintln!(
+                "cfgcheck: {} forbidden idiom(s) inside run_trial's measured loops — \
+                 the hot path must stay RNG-, clock- and allocation-free:",
+                hits.len()
+            );
+            for hit in &hits {
+                eprintln!("  {}:{}: `{}`", hit.path.display(), hit.line, hit.token);
+            }
+        }
+        Err(e) => {
+            failed = true;
+            eprintln!("cfgcheck: hot-loop gate error: {e}");
+        }
     }
-    std::process::exit(1);
+
+    if failed {
+        std::process::exit(1);
+    }
 }

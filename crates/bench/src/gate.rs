@@ -1,11 +1,15 @@
 //! The CI bench gate: compares two labeled runs of a bench artifact
-//! (`BENCH_fig8.json` schema) and flags throughput regressions.
+//! (`BENCH_fig8.json` schema) and flags throughput regressions — and,
+//! when both runs carry latency percentiles, p99 tail regressions.
 //!
 //! The gate is deliberately coarse — CI machines are noisy, so the default
 //! tolerance is a large 30% and the comparison is per *(structure, mix,
 //! threads)* point rather than aggregate, which catches a mix-specific
 //! cliff (e.g. a range-scan change tanking only `0i-0d`) that an average
-//! would smear out.
+//! would smear out. The tail comparison is coarser still: percentiles
+//! come from power-of-two histogram buckets, so a single-bucket shift is
+//! already a 2× step — the default p99 tolerance (1.0, i.e. "may double")
+//! flags only a jump past one whole bucket.
 
 use crate::json::Json;
 
@@ -22,6 +26,14 @@ pub struct GatePoint {
     pub delta: f64,
     /// Whether the slowdown exceeds the tolerance.
     pub regressed: bool,
+    /// Baseline `(p50, p99, p999)` in ns, when the row carries them.
+    pub base_lat: Option<(f64, f64, f64)>,
+    /// Candidate `(p50, p99, p999)` in ns, when the row carries them.
+    pub cand_lat: Option<(f64, f64, f64)>,
+    /// Whether the candidate p99 exceeds the baseline p99 beyond the
+    /// tail tolerance (always `false` when tail gating is off or either
+    /// side lacks percentiles — old artifacts never fail the tail gate).
+    pub tail_regressed: bool,
 }
 
 /// Result of a gate comparison.
@@ -43,15 +55,76 @@ pub struct GateReport {
 }
 
 impl GateReport {
-    /// The points that regressed beyond tolerance.
+    /// The points that regressed beyond tolerance (throughput or tail).
     pub fn regressions(&self) -> Vec<&GatePoint> {
-        self.points.iter().filter(|p| p.regressed).collect()
+        self.points
+            .iter()
+            .filter(|p| p.regressed || p.tail_regressed)
+            .collect()
     }
 
-    /// Whether the gate passes: no regressed point and no baseline point
-    /// missing from the candidate.
+    /// Whether the gate passes: no regressed point (mean or tail) and no
+    /// baseline point missing from the candidate.
     pub fn passed(&self) -> bool {
-        self.points.iter().all(|p| !p.regressed) && self.missing.is_empty()
+        self.regressions().is_empty() && self.missing.is_empty()
+    }
+
+    /// Whether *every* candidate cell was skipped as oversubscribed —
+    /// i.e. the gate compared nothing at all. `passed()` is vacuously
+    /// true then, so callers (the `bench_gate` bin) must check this and
+    /// fail distinctly: a starved host must not green-light a PR.
+    pub fn all_skipped(&self) -> bool {
+        self.points.is_empty() && !self.skipped.is_empty()
+    }
+
+    /// Renders the comparison as a GitHub-flavored markdown table (the
+    /// CI step summary): per cell, mean throughput on both sides and the
+    /// candidate's latency percentiles, with the baseline p99 alongside
+    /// so tail movement is visible at a glance.
+    pub fn render_summary(&self, baseline: &str, candidate: &str) -> String {
+        use std::fmt::Write as _;
+        let fmt_lat = |lat: Option<(f64, f64, f64)>| match lat {
+            Some((p50, p99, p999)) => format!(
+                "{} / {} / {}",
+                crate::fmt_ns(p50 as u64),
+                crate::fmt_ns(p99 as u64),
+                crate::fmt_ns(p999 as u64)
+            ),
+            None => "—".into(),
+        };
+        let mut s = String::new();
+        let _ = writeln!(s, "### Bench gate: `{baseline}` → `{candidate}`\n");
+        let _ = writeln!(
+            s,
+            "| point | base Mops | cand Mops | Δ | base p50/p99/p999 | cand p50/p99/p999 | status |"
+        );
+        let _ = writeln!(s, "|---|---:|---:|---:|---:|---:|---|");
+        for p in &self.points {
+            let status = match (p.regressed, p.tail_regressed) {
+                (false, false) => "ok",
+                (true, false) => "**regressed**",
+                (false, true) => "**tail regressed**",
+                (true, true) => "**regressed (mean+tail)**",
+            };
+            let _ = writeln!(
+                s,
+                "| {} | {:.3} | {:.3} | {:+.1}% | {} | {} | {} |",
+                p.key,
+                p.base,
+                p.cand,
+                p.delta * 100.0,
+                fmt_lat(p.base_lat),
+                fmt_lat(p.cand_lat),
+                status
+            );
+        }
+        for k in &self.skipped {
+            let _ = writeln!(s, "| {k} | — | — | — | — | — | skipped (oversubscribed) |");
+        }
+        for k in &self.missing {
+            let _ = writeln!(s, "| {k} | — | — | — | — | — | **missing** |");
+        }
+        s
     }
 }
 
@@ -62,7 +135,16 @@ fn find_run<'a>(doc: &'a Json, label: &str) -> Option<&'a Json> {
         .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
 }
 
-fn point_key(run: &Json, result: &Json) -> Option<(String, f64)> {
+/// Everything the gate reads out of one artifact result row.
+#[derive(Debug, Clone)]
+struct RowInfo {
+    key: String,
+    mops: f64,
+    over: bool,
+    lat: Option<(f64, f64, f64)>,
+}
+
+fn row_info(run: &Json, result: &Json) -> Option<RowInfo> {
     let mix = result.get("mix")?.as_str()?;
     let threads = result.get("threads")?.as_f64()?;
     // The structure lives per-run in bench_fig8 and per-result in
@@ -73,41 +155,53 @@ fn point_key(run: &Json, result: &Json) -> Option<(String, f64)> {
         .and_then(Json::as_str)
         .unwrap_or("?");
     let mops = result.get("mops")?.as_f64()?;
-    Some((format!("{structure}/{mix}@{threads}"), mops))
-}
-
-/// Whether a result row was measured with more worker threads than the
-/// host had cores (absent field means "not oversubscribed": older
-/// artifacts carry no provenance).
-fn oversubscribed(result: &Json) -> bool {
-    result
+    // Absent field means "not oversubscribed": older artifacts carry no
+    // provenance.
+    let over = result
         .get("oversubscribed")
         .and_then(Json::as_bool)
-        .unwrap_or(false)
+        .unwrap_or(false);
+    // Latency percentiles are optional (older artifacts): all-or-nothing.
+    let lat = (|| {
+        Some((
+            result.get("p50_ns")?.as_f64()?,
+            result.get("p99_ns")?.as_f64()?,
+            result.get("p999_ns")?.as_f64()?,
+        ))
+    })();
+    Some(RowInfo {
+        key: format!("{structure}/{mix}@{threads}"),
+        mops,
+        over,
+        lat,
+    })
 }
 
 /// Compares the runs labeled `baseline` and `candidate` in `doc`. A point
-/// regresses when `cand < base * (1 - tolerance)`; points below
+/// regresses when `cand < base * (1 - tolerance)`; with
+/// `p99_tolerance = Some(t)` a point also regresses when both sides carry
+/// percentiles and `cand_p99 > base_p99 * (1 + t)`. Points below
 /// `min_mops` in the baseline are compared but never flagged (too noisy to
-/// gate on); points oversubscribed on either side are skipped outright
-/// (see [`GateReport::skipped`]). Errors when either label is missing or
-/// no points overlap.
+/// gate on — the same floor guards the tail check); points oversubscribed
+/// on either side are skipped outright (see [`GateReport::skipped`]).
+/// Errors when either label is missing or no points overlap.
 pub fn compare(
     doc: &Json,
     baseline: &str,
     candidate: &str,
     tolerance: f64,
     min_mops: f64,
+    p99_tolerance: Option<f64>,
 ) -> Result<GateReport, String> {
     let base_run = find_run(doc, baseline).ok_or_else(|| format!("no run labeled `{baseline}`"))?;
     let cand_run =
         find_run(doc, candidate).ok_or_else(|| format!("no run labeled `{candidate}`"))?;
-    let base_points: Vec<(String, f64, bool)> = base_run
+    let base_rows: Vec<RowInfo> = base_run
         .get("results")
         .map(|r| r.items())
         .unwrap_or_default()
         .iter()
-        .filter_map(|res| point_key(base_run, res).map(|(k, m)| (k, m, oversubscribed(res))))
+        .filter_map(|res| row_info(base_run, res))
         .collect();
     let mut report = GateReport::default();
     for cand_res in cand_run
@@ -115,25 +209,36 @@ pub fn compare(
         .map(|r| r.items())
         .unwrap_or_default()
     {
-        let Some((key, cand)) = point_key(cand_run, cand_res) else {
+        let Some(cand) = row_info(cand_run, cand_res) else {
             continue;
         };
-        let Some((_, base, base_over)) = base_points.iter().find(|(k, _, _)| *k == key) else {
+        let Some(base) = base_rows.iter().find(|b| b.key == cand.key) else {
             continue;
         };
-        if *base_over || oversubscribed(cand_res) {
-            report.skipped.push(key);
+        if base.over || cand.over {
+            report.skipped.push(cand.key);
             continue;
         }
-        let base = *base;
-        let delta = if base > 0.0 { cand / base - 1.0 } else { 0.0 };
-        let regressed = base >= min_mops && cand < base * (1.0 - tolerance);
+        let delta = if base.mops > 0.0 {
+            cand.mops / base.mops - 1.0
+        } else {
+            0.0
+        };
+        let gated = base.mops >= min_mops;
+        let regressed = gated && cand.mops < base.mops * (1.0 - tolerance);
+        let tail_regressed = match (p99_tolerance, base.lat, cand.lat) {
+            (Some(t), Some((_, bp99, _)), Some((_, cp99, _))) => gated && cp99 > bp99 * (1.0 + t),
+            _ => false,
+        };
         report.points.push(GatePoint {
-            key,
-            base,
-            cand,
+            key: cand.key,
+            base: base.mops,
+            cand: cand.mops,
             delta,
             regressed,
+            base_lat: base.lat,
+            cand_lat: cand.lat,
+            tail_regressed,
         });
     }
     if report.points.is_empty() && report.skipped.is_empty() {
@@ -141,12 +246,12 @@ pub fn compare(
             "runs `{baseline}` and `{candidate}` share no comparable points"
         ));
     }
-    report.missing = base_points
+    report.missing = base_rows
         .iter()
-        .filter(|(k, _, _)| {
-            !report.points.iter().any(|p| p.key == *k) && !report.skipped.contains(k)
+        .filter(|b| {
+            !report.points.iter().any(|p| p.key == b.key) && !report.skipped.contains(&b.key)
         })
-        .map(|(k, _, _)| k.clone())
+        .map(|b| b.key.clone())
         .collect();
     Ok(report)
 }
@@ -190,13 +295,49 @@ mod tests {
         ])
     }
 
+    /// A doc whose rows also carry latency percentiles.
+    fn doc_with_lat(base: &[(&str, f64, f64)], cand: &[(&str, f64, f64)]) -> Json {
+        let results = |points: &[(&str, f64, f64)]| {
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|(mix, mops, p99)| {
+                        Json::obj(vec![
+                            ("mix", Json::Str(mix.to_string())),
+                            ("threads", Json::Num(2.0)),
+                            ("mops", Json::Num(*mops)),
+                            ("p50_ns", Json::Num(p99 / 4.0)),
+                            ("p99_ns", Json::Num(*p99)),
+                            ("p999_ns", Json::Num(p99 * 4.0)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj(vec![(
+            "runs",
+            Json::Arr(vec![
+                Json::obj(vec![
+                    ("label", Json::Str("baseline".into())),
+                    ("structure", Json::Str("chromatic".into())),
+                    ("results", results(base)),
+                ]),
+                Json::obj(vec![
+                    ("label", Json::Str("pr".into())),
+                    ("structure", Json::Str("chromatic".into())),
+                    ("results", results(cand)),
+                ]),
+            ]),
+        )])
+    }
+
     #[test]
     fn passes_within_tolerance() {
         let d = doc(
             &[("0i-0d", 1.0), ("50i-50d", 2.0)],
             &[("0i-0d", 0.8), ("50i-50d", 2.4)],
         );
-        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
         assert!(r.passed(), "{:?}", r.regressions());
         assert_eq!(r.points.len(), 2);
     }
@@ -207,7 +348,7 @@ mod tests {
             &[("0i-0d", 1.0), ("50i-50d", 2.0)],
             &[("0i-0d", 0.6), ("50i-50d", 2.0)],
         );
-        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
         assert!(!r.passed());
         let regs = r.regressions();
         assert_eq!(regs.len(), 1);
@@ -218,21 +359,21 @@ mod tests {
     #[test]
     fn tiny_baselines_are_never_flagged() {
         let d = doc(&[("0i-0d", 0.001)], &[("0i-0d", 0.0001)]);
-        let r = compare(&d, "baseline", "pr", 0.30, 0.01).unwrap();
+        let r = compare(&d, "baseline", "pr", 0.30, 0.01, None).unwrap();
         assert!(r.passed());
     }
 
     #[test]
     fn missing_label_is_an_error() {
         let d = doc(&[("0i-0d", 1.0)], &[("0i-0d", 1.0)]);
-        assert!(compare(&d, "baseline", "nope", 0.3, 0.0).is_err());
-        assert!(compare(&d, "nope", "pr", 0.3, 0.0).is_err());
+        assert!(compare(&d, "baseline", "nope", 0.3, 0.0, None).is_err());
+        assert!(compare(&d, "nope", "pr", 0.3, 0.0, None).is_err());
     }
 
     #[test]
     fn disjoint_points_are_an_error() {
         let d = doc(&[("0i-0d", 1.0)], &[("50i-50d", 1.0)]);
-        assert!(compare(&d, "baseline", "pr", 0.3, 0.0).is_err());
+        assert!(compare(&d, "baseline", "pr", 0.3, 0.0, None).is_err());
     }
 
     #[test]
@@ -269,8 +410,9 @@ mod tests {
                 ),
             ]),
         )]);
-        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
         assert!(r.passed(), "{:?}", r.regressions());
+        assert!(!r.all_skipped());
         assert_eq!(r.points.len(), 1);
         assert_eq!(r.skipped, vec!["chromatic/0i-0d@4".to_string()]);
         assert!(r.missing.is_empty());
@@ -283,8 +425,11 @@ mod tests {
                 run("pr", vec![row("0i-0d", 4.0, 0.2, false)]),
             ]),
         )]);
-        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
         assert!(r.passed());
+        // Nothing was compared — the bin must treat this as a distinct
+        // failure, not a pass.
+        assert!(r.all_skipped());
         assert_eq!(r.skipped.len(), 1);
     }
 
@@ -293,7 +438,7 @@ mod tests {
         // Pre-provenance artifacts (no `oversubscribed` field) keep the
         // old behavior: every cell is compared.
         let d = doc(&[("0i-0d", 1.0)], &[("0i-0d", 0.5)]);
-        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
         assert!(!r.passed());
         assert!(r.skipped.is_empty());
     }
@@ -306,12 +451,60 @@ mod tests {
             &[("0i-0d", 1.0), ("50i-50d", 2.0)],
             &[("0i-0d", 1.0)], // 50i-50d vanished
         );
-        let r = compare(&d, "baseline", "pr", 0.30, 0.0).unwrap();
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
         assert!(r.regressions().is_empty());
         assert!(!r.passed());
         assert_eq!(r.missing, vec!["chromatic/50i-50d@2".to_string()]);
         // Extra candidate-only points are fine (a new cell is not a loss).
         let d = doc(&[("0i-0d", 1.0)], &[("0i-0d", 1.0), ("50i-50d", 2.0)]);
-        assert!(compare(&d, "baseline", "pr", 0.30, 0.0).unwrap().passed());
+        assert!(compare(&d, "baseline", "pr", 0.30, 0.0, None)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn tail_regression_fails_only_with_p99_gating_on() {
+        // Throughput held; p99 jumped 4× (two histogram buckets).
+        let d = doc_with_lat(&[("0i-0d", 1.0, 1000.0)], &[("0i-0d", 1.0, 4100.0)]);
+        // Tail gating off: passes.
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
+        assert!(r.passed());
+        // Tail gating on (tolerance 1.0 = may double): fails.
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, Some(1.0)).unwrap();
+        assert!(!r.passed());
+        let regs = r.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].tail_regressed && !regs[0].regressed);
+        // A within-tolerance tail move (exactly one bucket, 2×) passes.
+        let d = doc_with_lat(&[("0i-0d", 1.0, 1000.0)], &[("0i-0d", 1.0, 2000.0)]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, Some(1.0)).unwrap();
+        assert!(r.passed(), "{:?}", r.regressions());
+    }
+
+    #[test]
+    fn rows_without_percentiles_never_tail_fail() {
+        // Old artifacts (no latency fields) stay comparable under
+        // --p99-tolerance: the tail check simply doesn't apply.
+        let d = doc(&[("0i-0d", 1.0)], &[("0i-0d", 1.0)]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, Some(1.0)).unwrap();
+        assert!(r.passed());
+        assert!(r.points[0].cand_lat.is_none());
+    }
+
+    #[test]
+    fn tiny_baselines_are_never_tail_flagged() {
+        let d = doc_with_lat(&[("0i-0d", 0.001, 100.0)], &[("0i-0d", 0.001, 99000.0)]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.01, Some(1.0)).unwrap();
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn summary_renders_every_cell_and_flags_tails() {
+        let d = doc_with_lat(&[("0i-0d", 1.0, 1000.0)], &[("0i-0d", 1.0, 9000.0)]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, Some(1.0)).unwrap();
+        let s = r.render_summary("baseline", "pr");
+        assert!(s.contains("chromatic/0i-0d@2"));
+        assert!(s.contains("tail regressed"));
+        assert!(s.contains("9.0µs"), "{s}");
     }
 }

@@ -115,6 +115,30 @@ pub fn provenance(threads: usize) -> Vec<(&'static str, json::Json)> {
     ]
 }
 
+/// The latency-percentile fields appended to every artifact result row:
+/// `p50_ns`/`p99_ns`/`p999_ns` of the run's trials merged (all op kinds
+/// folded — a row is one mix, so the blend is the workload's own). The
+/// fields are optional in the schema: rows from older artifacts simply
+/// don't have them, and the gate treats them as absent.
+pub fn latency_fields(trials: &[workload::TrialResult]) -> Vec<(&'static str, json::Json)> {
+    let s = workload::latency_summary(trials);
+    vec![
+        ("p50_ns", json::Json::Num(s.p50_ns as f64)),
+        ("p99_ns", json::Json::Num(s.p99_ns as f64)),
+        ("p999_ns", json::Json::Num(s.p999_ns as f64)),
+    ]
+}
+
+/// Human-readable nanoseconds (`850ns`, `3.4µs`, `1.2ms`) for tables.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
 /// Prints one row of a fixed-width table.
 pub fn print_row(first: &str, cells: &[String]) {
     print!("{first:<12}");

@@ -96,8 +96,21 @@ pub fn llx<'g, N: Record>(node: Shared<'g, N>, guard: &'g Guard) -> Llx<'g, N> {
     let header = n.header();
     let marked1 = header.marked.load(Ordering::SeqCst);
     let (rinfo, state) = load_info(n, guard);
+    // Second `marked` read, *after* the info load (PODC'13 Fig. 1 lines
+    // 2–5). The quiescence test must use this one: finalization sets
+    // `marked` before the descriptor's state becomes `Committed`, so a
+    // terminal state combined with a `marked` read that *follows* it
+    // proves the record was not in that SCX's removed set. Testing the
+    // pre-info read instead admits a torn interleaving — `marked` read
+    // false, the SCX commits (marking the record), `info` then reads the
+    // terminal descriptor — that snapshots an already-finalized record.
+    // A later SCX linked to such a snapshot freezes and mutates a record
+    // that is no longer in the structure: its update lands in a detached
+    // subtree and the records it finalizes there may still be reachable
+    // through the replacing copy, wedging every future LLX on them.
+    let marked2 = header.marked.load(Ordering::SeqCst);
 
-    if quiescent(state, marked1) {
+    if quiescent(state, marked2) {
         // Read the mutable fields, then confirm `info` is unchanged: any SCX
         // that modifies a field must first freeze the record by installing a
         // fresh descriptor, so an unchanged `info` certifies the snapshot.

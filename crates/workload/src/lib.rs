@@ -9,11 +9,15 @@
 
 pub mod adapters;
 pub mod config;
+pub mod dist;
+pub mod latency;
 
 pub use adapters::{
     make_hybrid, make_map, make_sharded, ConcurrentMap, HopShard, HybridShard, RangeTier, ALL_MAPS,
 };
 pub use config::SuiteConfig;
+pub use dist::{KeyDist, KeySampler};
+pub use latency::{Histogram, LatencySummary, OpHistograms, OpKind};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,6 +54,18 @@ pub struct Mix {
     /// merging is built for. Ignored when `batch == 1`. See
     /// [`with_run`](Mix::with_run).
     pub run: u32,
+    /// Percent of operations that are read-modify-write: a `get` of the
+    /// key followed by an `insert` of a derived value, timed and counted
+    /// as **one** operation — the canonical counter/accumulator shape.
+    /// See [`with_rmw`](Mix::with_rmw) and [`rmw`](Mix::rmw).
+    pub rmws: u32,
+    /// How keys are drawn from the key range: uniform (the default and
+    /// the paper's methodology), zipfian-θ or hot-set. See
+    /// [`with_zipf`](Mix::with_zipf) and
+    /// [`with_hot_set`](Mix::with_hot_set). The harness pre-generates
+    /// per-worker key streams from this distribution before the timing
+    /// barrier, so a heavier sampler never runs inside the measured loop.
+    pub dist: KeyDist,
 }
 
 impl Mix {
@@ -71,14 +87,79 @@ impl Mix {
             range_width: 0,
             batch: 1,
             run: 1,
+            rmws: 0,
+            dist: KeyDist::Uniform,
         }
+    }
+
+    /// A read-modify-write mix: `pct`% RMW ops (lookup + write-back of a
+    /// derived value, one timed op), the rest plain lookups — the
+    /// counter/accumulator workload (`wm` label segment).
+    pub const fn rmw(pct: u32) -> Mix {
+        Mix::updates(0, 0).with_rmw(pct)
+    }
+
+    /// A scan-heavy mix: 80% ordered range scans of `width` keys under a
+    /// light 5i-5d churn — the analytics-over-live-writes workload.
+    pub const fn scan_heavy(width: u64) -> Mix {
+        Mix::updates(5, 5).with_ranges(80, width)
+    }
+
+    /// Converts `pct` of the *lookup* share into read-modify-write ops
+    /// (`xi-yd-wm` notation). Incompatible with batched execution: the
+    /// trait batch entry points have no RMW flavor.
+    pub const fn with_rmw(mut self, pct: u32) -> Mix {
+        assert!(
+            self.inserts + self.deletes + self.ranges + pct <= 100,
+            "mix percentages exceed 100"
+        );
+        assert!(
+            self.batch <= 1 || pct == 0,
+            "read-modify-write has no batched entry point; set rmw before batch"
+        );
+        self.rmws = pct;
+        self
+    }
+
+    /// Draws keys zipfian with exponent `theta` (`-zT.TT` label suffix):
+    /// rank `r` of the scattered popularity order is drawn with
+    /// probability ∝ `1/(r+1)^theta`. `theta = 0` is exactly uniform;
+    /// YCSB's default hot skew is 0.9; `theta > 1` concentrates most ops
+    /// on a handful of keys. Stored in integer percent so `Mix` stays
+    /// `Copy + Eq` (θ resolution 0.01).
+    pub fn with_zipf(mut self, theta: f64) -> Mix {
+        assert!(
+            (0.0..=5.0).contains(&theta),
+            "zipf theta out of sane range [0, 5]"
+        );
+        let theta_pct = (theta * 100.0).round() as u32;
+        // θ = 0 *is* the uniform distribution; normalize so labels and
+        // `Mix` equality don't distinguish two spellings of the same mix.
+        self.dist = if theta_pct == 0 {
+            KeyDist::Uniform
+        } else {
+            KeyDist::Zipfian { theta_pct }
+        };
+        self
+    }
+
+    /// Directs `ops_pct`% of operations at a scattered hot set of
+    /// `keys_pct`% of the key range (`-hKxO` label suffix) — the
+    /// two-temperature alternative to zipf.
+    pub fn with_hot_set(mut self, keys_pct: u32, ops_pct: u32) -> Mix {
+        assert!(
+            (1..=100).contains(&keys_pct) && ops_pct <= 100,
+            "hot set: keys_pct in [1,100], ops_pct in [0,100]"
+        );
+        self.dist = KeyDist::HotSet { keys_pct, ops_pct };
+        self
     }
 
     /// Converts `percent` of the *lookup* share into range scans of
     /// `width` keys each (`xi-yd-zr` notation).
     pub const fn with_ranges(mut self, percent: u32, width: u64) -> Mix {
         assert!(
-            self.inserts + self.deletes + percent <= 100,
+            self.inserts + self.deletes + self.rmws + percent <= 100,
             "mix percentages exceed 100"
         );
         assert!(width > 0, "range width must be positive");
@@ -102,6 +183,10 @@ impl Mix {
             self.ranges == 0 || n == 1,
             "range scans have no batched entry point"
         );
+        assert!(
+            self.rmws == 0 || n == 1,
+            "read-modify-write has no batched entry point"
+        );
         self.batch = n;
         self
     }
@@ -124,8 +209,10 @@ impl Mix {
     }
 
     /// `xi-yd` label as used in the paper, extended to `xi-yd-zr` when the
-    /// mix includes range scans, suffixed `-bn` when it is batched and
-    /// `-cr` when the batch keys are clustered into runs (pure-update
+    /// mix includes range scans, `-wm` for a read-modify-write share,
+    /// `-bn` when it is batched, `-cr` when the batch keys are clustered
+    /// into runs, and a distribution suffix (`-zT.TT` zipfian,
+    /// `-hKxO` hot-set) when keys are not uniform (pure-update uniform
     /// point labels are unchanged so existing artifacts keep their keys).
     ///
     /// Allocation-free: formats into a fixed inline buffer. The previous
@@ -146,6 +233,11 @@ impl Mix {
             out.push_u32(self.ranges);
             out.push_byte(b'r');
         }
+        if self.rmws > 0 {
+            out.push_byte(b'-');
+            out.push_u32(self.rmws);
+            out.push_byte(b'm');
+        }
         if self.batch > 1 {
             out.push_byte(b'-');
             out.push_byte(b'b');
@@ -156,25 +248,52 @@ impl Mix {
             out.push_byte(b'c');
             out.push_u32(self.run);
         }
+        match self.dist {
+            KeyDist::Uniform => {}
+            KeyDist::Zipfian { theta_pct } => {
+                out.push_byte(b'-');
+                out.push_byte(b'z');
+                // θ printed with two decimals: `z0.90`, `z1.20`.
+                out.push_u32(theta_pct / 100);
+                out.push_byte(b'.');
+                out.push_byte(b'0' + ((theta_pct / 10) % 10) as u8);
+                out.push_byte(b'0' + (theta_pct % 10) as u8);
+            }
+            KeyDist::HotSet { keys_pct, ops_pct } => {
+                out.push_byte(b'-');
+                out.push_byte(b'h');
+                out.push_u32(keys_pct);
+                out.push_byte(b'x');
+                out.push_u32(ops_pct);
+            }
+        }
         out
     }
 
     /// Expected steady-state size as a fraction of the key range (§6):
     /// 1/2 for 50i-50d (last op on a key equally likely insert or delete),
     /// 2/3 for 20i-10d (insert twice as likely), 1/2 for query-only.
-    /// Range scans, like lookups, don't shift the steady state.
+    /// Range scans, like lookups, don't shift the steady state; RMW ops
+    /// count as inserts (they always leave the key present). Presence at
+    /// steady state is a per-key property of the *mix percentages* alone
+    /// — conditioned on "the last update touched key k", the insert/
+    /// delete split is the same for hot and cold keys — so the fraction
+    /// (and uniform prefilling) is correct under skewed key
+    /// distributions too.
     pub fn steady_state_fraction(&self) -> f64 {
-        if self.inserts + self.deletes == 0 {
+        let ins = self.inserts + self.rmws;
+        if ins + self.deletes == 0 {
             0.5
         } else {
-            self.inserts as f64 / (self.inserts + self.deletes) as f64
+            ins as f64 / (ins + self.deletes) as f64
         }
     }
 }
 
 /// Capacity of [`MixLabel`]'s inline buffer
-/// (`"100i-100d-100r-b4294967295-c4294967295"` is 38 bytes).
-const MIX_LABEL_CAP: usize = 40;
+/// (`"100i-100d-100r-100m-b4294967295-c4294967295-h100x100"` is 52
+/// bytes).
+const MIX_LABEL_CAP: usize = 56;
 
 /// A stack-allocated `xi-yd` mix label; dereferences to `str`.
 #[derive(Clone, Copy)]
@@ -254,6 +373,11 @@ pub struct TrialResult {
     pub ops: u64,
     /// Wall-clock duration measured.
     pub elapsed: Duration,
+    /// Per-op-kind latency histograms, merged across workers after the
+    /// join (each worker records into its own plain `u64` buckets inside
+    /// the measured loop — no atomics, no allocation). For batched mixes
+    /// the recorded unit is one **batch call**, for point mixes one op.
+    pub latency: OpHistograms,
 }
 
 impl TrialResult {
@@ -261,17 +385,92 @@ impl TrialResult {
     pub fn mops(&self) -> f64 {
         self.ops as f64 / self.elapsed.as_secs_f64() / 1e6
     }
+
+    /// All op kinds folded into one latency distribution.
+    pub fn latency_merged(&self) -> Histogram {
+        self.latency.merged()
+    }
+}
+
+/// Merges the latency of several trials (all op kinds folded) into the
+/// `p50_ns`/`p99_ns`/`p999_ns` summary the bench artifacts embed.
+pub fn latency_summary(trials: &[TrialResult]) -> LatencySummary {
+    let mut all = Histogram::new();
+    for t in trials {
+        all.merge(&t.latency_merged());
+    }
+    LatencySummary::of(&all)
+}
+
+/// Length of each worker's pre-generated key/op-kind stream (a power of
+/// two so the replay cursor is a mask, not a division). 64 Ki entries ≈
+/// 0.5 MiB of keys per worker; a trial longer than the stream replays it
+/// from the top, which preserves the distribution exactly.
+const STREAM: usize = 1 << 16;
+const STREAM_MASK: usize = STREAM - 1;
+
+/// Pre-generates one worker's operation stream: `STREAM` keys drawn from
+/// the mix's [`KeyDist`] and `STREAM` op-kind bytes drawn from its
+/// percentages. Runs **before** the timing barrier so neither the RNG nor
+/// the skew sampler (a binary search for zipfian) ever executes inside
+/// the measured loop.
+fn pregen_stream(mix: Mix, sampler: &KeySampler, rng: &mut StdRng) -> (Vec<u64>, Vec<u8>) {
+    let keys: Vec<u64> = if mix.run <= 1 {
+        (0..STREAM).map(|_| sampler.sample(rng)).collect()
+    } else {
+        // Run flavor: each draw seeds a run of consecutive keys (clamped
+        // inside the key range). Runs are laid out in the stream, so in
+        // batched trials they may straddle a batch boundary — the
+        // clustering statistics per call are unchanged in expectation.
+        let r = mix.run as u64;
+        let base_lim = range_base_limit(sampler.range(), r);
+        let mut v = Vec::with_capacity(STREAM);
+        while v.len() < STREAM {
+            let base = sampler.sample(rng).min(base_lim - 1);
+            let n = (STREAM - v.len()).min(r as usize) as u64;
+            v.extend(base..base + n);
+        }
+        v
+    };
+    let kinds: Vec<u8> = (0..STREAM)
+        .map(|_| {
+            let dice = rng.gen_range(0..100);
+            if dice < mix.inserts {
+                OpKind::Insert as u8
+            } else if dice < mix.inserts + mix.deletes {
+                OpKind::Remove as u8
+            } else if dice < mix.inserts + mix.deletes + mix.ranges {
+                OpKind::Range as u8
+            } else if dice < mix.inserts + mix.deletes + mix.ranges + mix.rmws {
+                OpKind::Rmw as u8
+            } else {
+                OpKind::Get as u8
+            }
+        })
+        .collect();
+    (keys, kinds)
+}
+
+/// Largest valid run base so a run of `r` consecutive keys stays in range.
+fn range_base_limit(range: u64, r: u64) -> u64 {
+    range.saturating_sub(r - 1).max(1)
 }
 
 /// Runs one timed trial: `threads` workers each executing the `mix` on
-/// uniform random keys in `[0, range)` for `duration`.
+/// keys drawn from `mix.dist` over `[0, range)` for `duration`.
+///
+/// Each worker pre-generates its key and op-kind streams and sets up its
+/// buffers **before** the timing barrier; the measured loop only indexes
+/// the streams, calls the map, and bumps plain `u64` latency buckets —
+/// no RNG, no allocation, no atomics (the `cfgcheck` hot-loop gate
+/// enforces this region stays that way). Per-op latency lands in
+/// per-worker [`OpHistograms`] merged after the join.
 ///
 /// With `mix.batch > 1` the workers drive the trait-level batch entry
-/// points instead of point ops: each iteration draws one op kind (same
-/// percentages), fills a reused buffer with `batch` uniform random keys,
-/// and issues a single `insert_batch` / `remove_batch` / `get_batch` that
-/// counts as `batch` operations — the standard harness path for measuring
-/// batching, replacing the bespoke batch loops benches used to carry.
+/// points instead of point ops: each iteration consumes one op kind and
+/// `batch` keys from the streams and issues a single `insert_batch` /
+/// `remove_batch` / `get_batch` that counts as `batch` operations; the
+/// latency sample recorded is the **batch call**, not a per-key figure.
 pub fn run_trial(
     map: &(dyn ConcurrentMap + Sync),
     threads: usize,
@@ -284,11 +483,18 @@ pub fn run_trial(
         mix.ranges == 0 || mix.batch <= 1,
         "range scans have no batched entry point"
     );
+    // Calibrate the latency clock before any worker exists, so the ~5 ms
+    // one-time TSC calibration never lands inside a measured region.
+    latency::calibrate();
+    // One sampler, built once and shared read-only: the zipfian CDF can
+    // be megabytes, and every worker binary-searches the same table.
+    let sampler = KeySampler::new(mix.dist, range);
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
-    // Keep thread spawning and per-thread RNG construction out of the timed
-    // region: every worker sets up, then all parties meet at the barrier and
-    // the clock starts there.
+    let merged = std::sync::Mutex::new(OpHistograms::new());
+    // Keep thread spawning, stream pre-generation and buffer setup out of
+    // the timed region: every worker sets up, then all parties meet at
+    // the barrier and the clock starts there.
     let start_gate = std::sync::Barrier::new(threads + 1);
     let mut started = Instant::now();
     std::thread::scope(|s| {
@@ -296,79 +502,100 @@ pub fn run_trial(
             let stop = &stop;
             let total = &total;
             let start_gate = &start_gate;
+            let sampler = &sampler;
+            let merged = &merged;
             s.spawn(move || {
+                const INS: u8 = OpKind::Insert as u8;
+                const REM: u8 = OpKind::Remove as u8;
+                const RNG: u8 = OpKind::Range as u8;
+                const RMW: u8 = OpKind::Rmw as u8;
                 let mut rng = StdRng::seed_from_u64(seed ^ ((tid as u64) << 32) | tid as u64);
+                let (keys, kinds) = pregen_stream(mix, sampler, &mut rng);
+                let mut hist = OpHistograms::new();
                 let mut ops = 0u64;
+                let mut cursor = 0usize;
                 if mix.batch > 1 {
-                    // Batched flavor: buffers are reused across calls so
-                    // the timed region measures the batch entry points,
-                    // not allocator traffic.
+                    // Batched flavor: fixed-size buffers are written in
+                    // place each call, so the timed region measures the
+                    // batch entry points, not allocator traffic.
                     let b = mix.batch as usize;
-                    let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(b);
-                    let mut keys: Vec<u64> = Vec::with_capacity(b);
-                    // With `mix.run > 1` each draw expands to a run of
-                    // consecutive keys, clamped so runs stay inside the key
-                    // range; the final run is truncated to the batch size.
-                    let fill = |rng: &mut StdRng, keys: &mut Vec<u64>| {
-                        keys.clear();
-                        if mix.run <= 1 {
-                            keys.extend((0..b).map(|_| rng.gen_range(0..range)));
-                        } else {
-                            let r = mix.run as u64;
-                            let base_lim = range.saturating_sub(r - 1).max(1);
-                            while keys.len() < b {
-                                let base = rng.gen_range(0..base_lim);
-                                let n = (b - keys.len()).min(r as usize) as u64;
-                                keys.extend(base..base + n);
+                    let mut kbuf: Vec<u64> = vec![0; b];
+                    let mut pairs: Vec<(u64, u64)> = vec![(0, 0); b];
+                    let mut kc = 0usize;
+                    start_gate.wait();
+                    // cfgcheck:hotloop:begin
+                    while !stop.load(Ordering::Relaxed) {
+                        for slot in kbuf.iter_mut() {
+                            *slot = keys[kc & STREAM_MASK];
+                            kc += 1;
+                        }
+                        let kind = kinds[cursor & STREAM_MASK];
+                        cursor += 1;
+                        let t0 = latency::now();
+                        match kind {
+                            INS => {
+                                for (p, &k) in pairs.iter_mut().zip(kbuf.iter()) {
+                                    *p = (k, k);
+                                }
+                                std::hint::black_box(map.insert_batch(&pairs));
+                            }
+                            REM => {
+                                std::hint::black_box(map.remove_batch(&kbuf));
+                            }
+                            _ => {
+                                std::hint::black_box(map.get_batch(&kbuf));
                             }
                         }
-                    };
-                    start_gate.wait();
-                    while !stop.load(Ordering::Relaxed) {
-                        let dice = rng.gen_range(0..100);
-                        if dice < mix.inserts {
-                            fill(&mut rng, &mut keys);
-                            pairs.clear();
-                            pairs.extend(keys.iter().map(|&k| (k, k)));
-                            std::hint::black_box(map.insert_batch(&pairs));
-                        } else if dice < mix.inserts + mix.deletes {
-                            fill(&mut rng, &mut keys);
-                            std::hint::black_box(map.remove_batch(&keys));
-                        } else {
-                            fill(&mut rng, &mut keys);
-                            std::hint::black_box(map.get_batch(&keys));
-                        }
+                        hist.record(kind, latency::elapsed_ns(t0));
                         ops += b as u64;
                     }
+                    // cfgcheck:hotloop:end
                 } else {
                     start_gate.wait();
+                    // cfgcheck:hotloop:begin
                     while !stop.load(Ordering::Relaxed) {
                         // Batch the stop check to keep the loop tight.
                         for _ in 0..64 {
-                            let k = rng.gen_range(0..range);
-                            let dice = rng.gen_range(0..100);
-                            if dice < mix.inserts {
-                                map.insert(k, k);
-                            } else if dice < mix.inserts + mix.deletes {
-                                map.remove(&k);
-                            } else if dice < mix.inserts + mix.deletes + mix.ranges {
-                                // A scan of `range_width` keys starting at
-                                // `k` counts as ONE operation: Mops/s for
-                                // range mixes measures scans, not keys
-                                // touched. Saturating at both ends: the pub
-                                // fields allow a hand-built Mix with width 0
-                                // (empty scan), which must not underflow
-                                // into a full-map scan.
-                                let hi = k.saturating_add(mix.range_width).saturating_sub(1);
-                                std::hint::black_box(map.range(k, hi));
-                            } else {
-                                map.get(&k);
+                            let k = keys[cursor & STREAM_MASK];
+                            let kind = kinds[cursor & STREAM_MASK];
+                            cursor += 1;
+                            let t0 = latency::now();
+                            match kind {
+                                INS => {
+                                    map.insert(k, k);
+                                }
+                                REM => {
+                                    map.remove(&k);
+                                }
+                                RNG => {
+                                    // A scan of `range_width` keys starting
+                                    // at `k` counts as ONE operation: Mops/s
+                                    // for range mixes measures scans, not
+                                    // keys touched. Saturating at both ends:
+                                    // the pub fields allow a hand-built Mix
+                                    // with width 0 (empty scan), which must
+                                    // not underflow into a full-map scan.
+                                    let hi = k.saturating_add(mix.range_width).saturating_sub(1);
+                                    std::hint::black_box(map.range(k, hi));
+                                }
+                                RMW => {
+                                    // Read-modify-write: one timed op, the
+                                    // counter/accumulator shape.
+                                    let v = map.get(&k).map_or(1, |v| v.wrapping_add(1));
+                                    map.insert(k, v);
+                                }
+                                _ => {
+                                    map.get(&k);
+                                }
                             }
+                            hist.record(kind, latency::elapsed_ns(t0));
                             ops += 1;
                         }
                     }
+                    // cfgcheck:hotloop:end
                 }
                 total.fetch_add(ops, Ordering::Relaxed);
+                merged.lock().unwrap().merge(&hist);
             });
         }
         start_gate.wait();
@@ -379,6 +606,7 @@ pub fn run_trial(
     TrialResult {
         ops: total.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
+        latency: merged.into_inner().unwrap(),
     }
 }
 
@@ -452,11 +680,27 @@ pub fn thread_counts() -> Vec<usize> {
 /// passed because a single-threaded script can't distinguish the tiers
 /// (and which a new weak-scan structure should not inherit).
 pub fn check_against_model(map: &dyn ConcurrentMap, seed: u64, ops: u64, range: u64) {
+    check_against_model_dist(map, seed, ops, range, KeyDist::Uniform);
+}
+
+/// [`check_against_model`] with keys drawn from an arbitrary [`KeyDist`]
+/// instead of uniformly — what the skewed-workload tests use to show the
+/// samplers feed structures keys they handle correctly (a zipfian stream
+/// hammers the same hot keys through insert/remove/get/range in every
+/// interleaving a sequential script can produce).
+pub fn check_against_model_dist(
+    map: &dyn ConcurrentMap,
+    seed: u64,
+    ops: u64,
+    range: u64,
+    dist: KeyDist,
+) {
     use std::collections::BTreeMap;
+    let sampler = KeySampler::new(dist, range);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = BTreeMap::new();
     for step in 0..ops {
-        let k = rng.gen_range(0..range);
+        let k = sampler.sample(&mut rng);
         match rng.gen_range(0..4) {
             0 => assert_eq!(map.insert(k, step), model.insert(k, step), "insert {k}"),
             1 => assert_eq!(map.remove(&k), model.remove(&k), "remove {k}"),
@@ -706,6 +950,116 @@ mod tests {
                 .as_str(),
             "0i-100d-b64",
             "run 1 is the uniform flavor and keeps the plain batch label"
+        );
+        assert_eq!(
+            Mix::updates(20, 10).with_zipf(0.9).label().as_str(),
+            "20i-10d-z0.90"
+        );
+        assert_eq!(
+            Mix::updates(20, 10).with_zipf(1.2).label().as_str(),
+            "20i-10d-z1.20"
+        );
+        assert_eq!(
+            Mix::updates(20, 10).with_zipf(0.0).label().as_str(),
+            "20i-10d",
+            "theta 0 is uniform and keeps the plain label"
+        );
+        assert_eq!(
+            Mix::updates(5, 5).with_hot_set(10, 90).label().as_str(),
+            "5i-5d-h10x90"
+        );
+        assert_eq!(Mix::rmw(30).label().as_str(), "0i-0d-30m");
+        assert_eq!(
+            Mix::scan_heavy(64).label().as_str(),
+            "5i-5d-80r",
+            "scan-heavy is the 5i-5d-80r shape"
+        );
+        assert_eq!(
+            Mix::updates(50, 50)
+                .with_batch(64)
+                .with_run(8)
+                .with_zipf(1.2)
+                .label()
+                .as_str(),
+            "50i-50d-b64-c8-z1.20"
+        );
+    }
+
+    #[test]
+    fn skewed_trials_run_and_record_latency() {
+        let cfg = SuiteConfig::default().for_key_range(1000);
+        for mix in [
+            Mix::updates(20, 10).with_zipf(0.9),
+            Mix::updates(20, 10).with_zipf(1.2),
+            Mix::updates(20, 10).with_hot_set(10, 90),
+        ] {
+            let map = make_map("chromatic", &cfg).unwrap();
+            prefill(map.as_ref(), 1000, mix, 3);
+            let r = run_trial(map.as_ref(), 2, mix, 1000, Duration::from_millis(50), 11);
+            assert!(
+                r.ops > 0,
+                "{} performed no operations",
+                mix.label().as_str()
+            );
+            assert_eq!(
+                r.latency_merged().count(),
+                r.ops,
+                "{}: every op must land in a latency bucket",
+                mix.label().as_str()
+            );
+            let s = latency_summary(&[r]);
+            assert!(s.p99_ns >= s.p50_ns);
+        }
+    }
+
+    #[test]
+    fn rmw_trial_records_under_the_rmw_kind() {
+        let cfg = SuiteConfig::default().for_key_range(500);
+        let map = make_map("skiplist", &cfg).unwrap();
+        let mix = Mix::updates(10, 10).with_rmw(50);
+        prefill(map.as_ref(), 500, mix, 3);
+        let r = run_trial(map.as_ref(), 2, mix, 500, Duration::from_millis(50), 7);
+        assert!(r.ops > 0);
+        let rmw = r.latency.kind(OpKind::Rmw).count();
+        assert!(rmw > 0, "50% RMW mix recorded no RMW samples");
+        // Roughly half the ops should be RMW (binomial around 0.5).
+        let frac = rmw as f64 / r.ops as f64;
+        assert!((0.3..0.7).contains(&frac), "RMW fraction {frac}");
+    }
+
+    #[test]
+    fn batched_trial_records_batch_call_latency() {
+        let cfg = SuiteConfig::default().for_key_range(1000);
+        let map = make_map("sharded", &cfg).unwrap();
+        let mix = Mix::updates(50, 50).with_batch(16);
+        prefill(map.as_ref(), 1000, mix, 3);
+        let r = run_trial(map.as_ref(), 2, mix, 1000, Duration::from_millis(50), 11);
+        assert!(r.ops > 0);
+        // One latency sample per batch *call*, not per key.
+        assert_eq!(r.latency_merged().count(), r.ops / 16);
+    }
+
+    #[test]
+    fn skewed_mixes_match_model_on_chromatic() {
+        let cfg = SuiteConfig::default();
+        let map = make_map("chromatic", &cfg).unwrap();
+        check_against_model_dist(
+            map.as_ref(),
+            7,
+            2000,
+            128,
+            KeyDist::Zipfian { theta_pct: 120 },
+        );
+        let map = make_map("chromatic", &cfg).unwrap();
+        check_against_model_dist(
+            map.as_ref(),
+            9,
+            2000,
+            128,
+            KeyDist::HotSet {
+                keys_pct: 10,
+                ops_pct: 90,
+            },
         );
     }
 

@@ -2,7 +2,9 @@
 //! same scripted workloads, semantic equivalence between structures, and
 //! template-level properties that span llxscx + nbtree.
 
-use workload::{check_against_model, make_map, SuiteConfig, ALL_MAPS};
+use workload::{
+    check_against_model, check_against_model_dist, make_map, KeyDist, SuiteConfig, ALL_MAPS,
+};
 
 /// One config for every test in this file: the scripted workloads use
 /// small key ranges, so the sharded entry's boundary table is sized to
@@ -60,6 +62,30 @@ fn each_structure_matches_btreemap() {
     for name in ALL_MAPS {
         let map = make_map(name, &cfg()).unwrap();
         check_against_model(map.as_ref(), 5, 5000, 300);
+    }
+}
+
+#[test]
+fn each_structure_matches_btreemap_under_skewed_keys() {
+    // The skewed samplers feed every structure a hot-key-heavy script:
+    // the same few keys hammered through insert/remove/get/range, which
+    // exercises repeated same-leaf churn (chromatic rebalancing,
+    // hopscotch displacement, shard hot-spotting) that a uniform script
+    // touches only rarely. Model equivalence must hold regardless of how
+    // keys are drawn.
+    let dists = [
+        KeyDist::Zipfian { theta_pct: 90 },
+        KeyDist::Zipfian { theta_pct: 120 },
+        KeyDist::HotSet {
+            keys_pct: 5,
+            ops_pct: 90,
+        },
+    ];
+    for name in ALL_MAPS {
+        for dist in dists {
+            let map = make_map(name, &cfg()).unwrap();
+            check_against_model_dist(map.as_ref(), 5, 3000, 300, dist);
+        }
     }
 }
 
