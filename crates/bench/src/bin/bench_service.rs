@@ -1,0 +1,235 @@
+//! Machine-readable batched-service sweep: the async front end
+//! (`service::BatchedService`) over chromatic / sharded / hybrid, across
+//! flush policies (`max_batch` × `max_delay`) and client counts,
+//! recorded as one labeled run in `BENCH_service.json` (same label-merge
+//! behavior as the other bench bins).
+//!
+//! This is the experiment behind `docs/SERVICE.md`: independent clients
+//! submitting point ops one at a time cannot reach the structures' batch
+//! entry points on their own; the service accumulates their requests and
+//! flushes them through `insert_batch`/`remove_batch` whole. The
+//! headline comparison is each batching policy against the `fb1-fd0`
+//! passthrough baseline (batches of one, no waiting) at the same client
+//! count — throughput should win from amortized traversal and guard
+//! pinning, while p50/p99 *response* latency pays for the queueing. Both
+//! sides of that trade land in the artifact.
+//!
+//! Clients are windowed closed loops: each keeps `WINDOW` submissions in
+//! flight and records per-op submit→completion latency, so batches can
+//! actually accumulate (a one-outstanding-op client could never fill a
+//! 64-slot batch).
+//!
+//! Row labels encode the policy: mix `50i-50d-fb{max_batch}-fd{delay_µs}`
+//! keeps every `structure/mix@threads` gate key unique.
+//!
+//! Knobs: `NBTREE_BENCH_SECS`, `NBTREE_BENCH_TRIALS`,
+//! `NBTREE_BENCH_THREADS` (client counts, default `1,2,4,8`),
+//! `NBTREE_BENCH_RANGES` (first entry is the key range; default 10000);
+//! `--label NAME`, `--out PATH` (default `BENCH_service.json`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bench::json::Json;
+use bench::{bench_threads, first_key_range, trial_duration, trials};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use service::{BatchedService, FlushPolicy, Op, ServiceConfig};
+use workload::latency::{calibrate, elapsed_ns, now};
+use workload::{make_map, prefill, Histogram, LatencySummary, Mix, SuiteConfig};
+
+/// Structures swept: the paper's tree, the sharded façade (whose batch
+/// override regroups by shard), and the hash+tree hybrid.
+const STRUCTURES: [&str; 3] = ["chromatic", "sharded", "hybrid"];
+
+/// Flush policies swept: the passthrough baseline, the headline batching
+/// point, and a deeper/looser point for the latency-cost curve.
+const POLICIES: [(usize, u64); 3] = [(1, 0), (64, 100), (256, 400)];
+
+/// Submissions each client keeps in flight.
+const WINDOW: usize = 256;
+
+struct PolicyResult {
+    mops: f64,
+    hist: Histogram,
+    mean_batch: f64,
+}
+
+/// One policy × client-count point: fresh prefilled map per trial, `c`
+/// windowed closed-loop clients for `duration`, best-trial throughput
+/// and all-trial merged latency (the same aggregation `measure` uses).
+fn run_point(
+    structure: &str,
+    cfg: &SuiteConfig,
+    clients: usize,
+    policy: FlushPolicy,
+    range: u64,
+    duration: Duration,
+    n_trials: usize,
+) -> PolicyResult {
+    let mut best_mops = 0.0f64;
+    let mut hist = Histogram::new();
+    let mut batched_ops = 0u64;
+    let mut flushes = 0u64;
+    for trial in 0..n_trials {
+        let map = make_map(structure, cfg).expect("registered structure");
+        prefill(map.as_ref(), range, Mix::updates(50, 50), 42);
+        let mut svc = BatchedService::start(map, ServiceConfig::new(policy));
+        let total_ops = AtomicU64::new(0);
+        let started = Instant::now();
+        let trial_hist = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|tid| {
+                    let svc = &svc;
+                    let total_ops = &total_ops;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(1000 * trial as u64 + tid as u64 + 7);
+                        let mut h = Histogram::new();
+                        let mut window = Vec::with_capacity(WINDOW);
+                        let mut ops = 0u64;
+                        while started.elapsed() < duration {
+                            for _ in 0..WINDOW {
+                                let k = rng.gen_range(0..range);
+                                let op = if rng.gen_range(0..100) < 50 {
+                                    Op::Insert(k, ops)
+                                } else {
+                                    Op::Remove(k)
+                                };
+                                window.push((now(), svc.submit(op).expect("service open")));
+                            }
+                            for (start, fut) in window.drain(..) {
+                                fut.wait();
+                                h.record(elapsed_ns(start));
+                            }
+                            ops += WINDOW as u64;
+                        }
+                        total_ops.fetch_add(ops, Ordering::Relaxed);
+                        h
+                    })
+                })
+                .collect();
+            let mut merged = Histogram::new();
+            for h in handles {
+                merged.merge(&h.join().unwrap());
+            }
+            merged
+        });
+        let elapsed = started.elapsed();
+        svc.shutdown();
+        let stats = svc.stats();
+        batched_ops += stats.batched_ops;
+        flushes += stats.flushes;
+        best_mops =
+            best_mops.max(total_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64() / 1e6);
+        hist.merge(&trial_hist);
+    }
+    PolicyResult {
+        mops: best_mops,
+        hist,
+        mean_batch: batched_ops as f64 / flushes.max(1) as f64,
+    }
+}
+
+fn main() {
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_service.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_service [--label NAME] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let duration = trial_duration();
+    let n_trials = trials();
+    let client_counts = bench_threads(&[1, 2, 4, 8]);
+    let range = first_key_range();
+    let cfg = SuiteConfig::from_env().for_key_range(range);
+    calibrate();
+
+    eprintln!(
+        "# bench_service: label={label} range={range} clients={client_counts:?} \
+         policies={POLICIES:?} {n_trials} trial(s) x {duration:?}"
+    );
+
+    let mut results = Vec::new();
+    for structure in STRUCTURES {
+        for &(max_batch, delay_us) in &POLICIES {
+            let policy = FlushPolicy::new(max_batch, Duration::from_micros(delay_us));
+            let mix_label = format!("50i-50d-fb{max_batch}-fd{delay_us}");
+            for &c in &client_counts {
+                let r = run_point(structure, &cfg, c, policy, range, duration, n_trials);
+                let lat = LatencySummary::of(&r.hist);
+                eprintln!(
+                    "  {structure} {mix_label} clients={c}: {:.3} Mops/s \
+                     p50={} p99={} mean_batch={:.1}",
+                    r.mops,
+                    bench::fmt_ns(lat.p50_ns),
+                    bench::fmt_ns(lat.p99_ns),
+                    r.mean_batch
+                );
+                let mut row = vec![
+                    ("structure", Json::Str(structure.to_string())),
+                    ("mix", Json::Str(mix_label.clone())),
+                    ("threads", Json::Num(c as f64)),
+                    ("mops", Json::Num(r.mops)),
+                    ("p50_ns", Json::Num(lat.p50_ns as f64)),
+                    ("p99_ns", Json::Num(lat.p99_ns as f64)),
+                    ("p999_ns", Json::Num(lat.p999_ns as f64)),
+                    ("mean_batch", Json::Num(r.mean_batch)),
+                ];
+                // The flusher thread works alongside the clients.
+                row.extend(bench::provenance(c + 1));
+                results.push(Json::obj(row));
+            }
+        }
+    }
+
+    let mops_of = |structure: &str, max_batch: usize, delay_us: u64, c: usize| {
+        let mix = format!("50i-50d-fb{max_batch}-fd{delay_us}");
+        results
+            .iter()
+            .find(|r| {
+                r.get("structure").and_then(Json::as_str) == Some(structure)
+                    && r.get("mix").and_then(Json::as_str) == Some(mix.as_str())
+                    && r.get("threads").and_then(Json::as_f64) == Some(c as f64)
+            })
+            .and_then(|r| r.get("mops").and_then(Json::as_f64))
+            .unwrap_or(f64::NAN)
+    };
+
+    // The ratio the acceptance gate reads: each batching policy over the
+    // passthrough baseline at the same client count.
+    for structure in STRUCTURES {
+        for &(max_batch, delay_us) in &POLICIES[1..] {
+            for &c in &client_counts {
+                let base = mops_of(structure, POLICIES[0].0, POLICIES[0].1, c);
+                let batched = mops_of(structure, max_batch, delay_us, c);
+                eprintln!(
+                    "  speedup {structure} fb{max_batch}-fd{delay_us} clients={c}: \
+                     {:.2}x over passthrough",
+                    batched / base
+                );
+            }
+        }
+    }
+
+    let run = Json::obj(vec![
+        ("label", Json::Str(label.clone())),
+        ("range", Json::Num(range as f64)),
+        ("duration_secs", Json::Num(duration.as_secs_f64())),
+        ("trials", Json::Num(n_trials as f64)),
+        ("window", Json::Num(WINDOW as f64)),
+        ("results", Json::Arr(results)),
+    ]);
+
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let doc = bench::json::merge_labeled_run(existing.as_deref(), "bench_service/v1", &label, run);
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH_service.json");
+    eprintln!("wrote {out_path}");
+}

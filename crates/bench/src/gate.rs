@@ -253,7 +253,25 @@ pub fn compare(
         })
         .map(|b| b.key.clone())
         .collect();
+    // Deterministic display order, `@threads` compared numerically:
+    // JSON result order would interleave merged runs, and a plain string
+    // sort puts `@16` before `@2`.
+    report.points.sort_by_key(|p| key_order(&p.key));
+    report.skipped.sort_by_key(|k| key_order(k));
+    report.missing.sort_by_key(|k| key_order(k));
     Ok(report)
+}
+
+/// Sort key for a `structure/mix@threads` point key: (structure, mix,
+/// numeric threads). Unparseable keys sort by their text with threads 0,
+/// so they group stably at the front of their name.
+fn key_order(key: &str) -> (String, String, u64) {
+    let (name, threads) = match key.rsplit_once('@') {
+        Some((name, t)) => (name, t.parse().unwrap_or(0)),
+        None => (key, 0),
+    };
+    let (structure, mix) = name.split_once('/').unwrap_or((name, ""));
+    (structure.to_string(), mix.to_string(), threads)
 }
 
 #[cfg(test)]
@@ -329,6 +347,59 @@ mod tests {
                 ]),
             ]),
         )])
+    }
+
+    /// A doc whose result rows carry their own structure and thread
+    /// count (the bench_range shape), for exercising report ordering.
+    fn doc_multi(rows: &[(&str, &str, f64)]) -> Json {
+        let results = Json::Arr(
+            rows.iter()
+                .map(|(structure, mix, threads)| {
+                    Json::obj(vec![
+                        ("structure", Json::Str(structure.to_string())),
+                        ("mix", Json::Str(mix.to_string())),
+                        ("threads", Json::Num(*threads)),
+                        ("mops", Json::Num(1.0)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![(
+            "runs",
+            Json::Arr(vec![
+                Json::obj(vec![
+                    ("label", Json::Str("baseline".into())),
+                    ("results", results.clone()),
+                ]),
+                Json::obj(vec![
+                    ("label", Json::Str("pr".into())),
+                    ("results", results),
+                ]),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn report_points_sort_by_structure_mix_then_numeric_threads() {
+        // Jumbled input order, including the lexicographic trap: as
+        // strings, "@16" sorts before "@2".
+        let d = doc_multi(&[
+            ("zebra", "50i-50d", 2.0),
+            ("ant", "0i-0d", 16.0),
+            ("ant", "50i-50d", 4.0),
+            ("ant", "0i-0d", 2.0),
+        ]);
+        let r = compare(&d, "baseline", "pr", 0.30, 0.0, None).unwrap();
+        let keys: Vec<&str> = r.points.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "ant/0i-0d@2",
+                "ant/0i-0d@16",
+                "ant/50i-50d@4",
+                "zebra/50i-50d@2",
+            ]
+        );
     }
 
     #[test]

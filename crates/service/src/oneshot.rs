@@ -1,0 +1,151 @@
+//! A one-shot response slot with both a sync and an async receive side.
+//!
+//! The flusher completes responses from a plain worker thread, while a
+//! client may be a blocked thread *or* an async task — so the slot
+//! carries a mutex+condvar for the sync side and a stored [`Waker`] for
+//! the async side, and [`Sender::send`] signals both. Exactly one value
+//! crosses, exactly once; the service guarantees every accepted request
+//! is completed (the flusher drains the queue before shutting down), so
+//! the receiver never needs a "sender dropped" limbo state.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+enum State<T> {
+    /// Nothing sent, nobody polling.
+    Empty,
+    /// An async receiver registered interest.
+    Waiting(Waker),
+    /// The value arrived and awaits pickup.
+    Full(T),
+    /// The value was taken; any further poll is a caller bug.
+    Taken,
+}
+
+/// The shared slot: state under a mutex, a condvar for sync waiters.
+struct Slot<T> {
+    state: Mutex<State<T>>,
+    cvar: Condvar,
+}
+
+/// Creates a connected sender/receiver pair.
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    let slot = Arc::new(Slot {
+        state: Mutex::new(State::Empty),
+        cvar: Condvar::new(),
+    });
+    (Sender { slot: slot.clone() }, Receiver { slot })
+}
+
+/// The completing half, held by the flusher. Consumed by [`send`](Sender::send).
+pub struct Sender<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T: Send> Sender<T> {
+    /// Delivers the value, waking a parked sync waiter and/or a
+    /// registered async waker.
+    pub fn send(self, value: T) {
+        let waker = {
+            let mut state = self.slot.state.lock().unwrap();
+            match std::mem::replace(&mut *state, State::Full(value)) {
+                State::Waiting(w) => Some(w),
+                _ => None,
+            }
+        };
+        self.slot.cvar.notify_all();
+        // Wake outside the lock: the woken task may poll immediately.
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// The receiving half: a [`Future`] resolving to the value, or a
+/// blocking [`wait`](Receiver::wait) for sync callers.
+pub struct Receiver<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T: Send> Receiver<T> {
+    /// Blocks the calling thread until the value arrives.
+    pub fn wait(self) -> T {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *state, State::Taken) {
+                State::Full(v) => return v,
+                other => {
+                    // Put the non-value state back (it may hold a waker
+                    // from an earlier async poll of this same receiver)
+                    // and park.
+                    *state = other;
+                    state = self.slot.cvar.wait(state).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Whether the value has arrived (without consuming it).
+    pub fn is_ready(&self) -> bool {
+        matches!(*self.slot.state.lock().unwrap(), State::Full(_))
+    }
+}
+
+impl<T: Send> Future for Receiver<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut state = self.slot.state.lock().unwrap();
+        match std::mem::replace(&mut *state, State::Taken) {
+            State::Full(v) => Poll::Ready(v),
+            State::Taken => panic!("oneshot receiver polled after completion"),
+            State::Empty | State::Waiting(_) => {
+                // Replace (not merge) the stored waker: the latest poll's
+                // context is the one that must be woken.
+                *state = State::Waiting(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_wait() {
+        let (tx, rx) = channel();
+        tx.send(5u64);
+        assert!(rx.is_ready());
+        assert_eq!(rx.wait(), 5);
+    }
+
+    #[test]
+    fn wait_parks_until_cross_thread_send() {
+        let (tx, rx) = channel();
+        let h = std::thread::spawn(move || rx.wait());
+        tx.send(11u64);
+        assert_eq!(h.join().unwrap(), 11);
+    }
+
+    #[test]
+    fn future_side_registers_waker_and_resolves() {
+        let (tx, mut rx) = channel();
+        assert!(crate::exec::poll_now(&mut rx).is_pending());
+        assert!(crate::exec::poll_now(&mut rx).is_pending(), "re-poll ok");
+        tx.send(3u64);
+        assert_eq!(crate::exec::poll_now(&mut rx), Poll::Ready(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "polled after completion")]
+    fn poll_after_completion_panics() {
+        let (tx, mut rx) = channel();
+        tx.send(1u64);
+        let _ = crate::exec::poll_now(&mut rx);
+        let _ = crate::exec::poll_now(&mut rx);
+    }
+}

@@ -1,0 +1,739 @@
+//! The batched request/response bridge: clients submit point ops into a
+//! bounded accumulation queue and get a oneshot-backed future; a flusher
+//! drains the queue into the map's **batch** entry points when either
+//! the size threshold fills or the oldest request ages past the
+//! deadline, then completes each future with its element's result.
+//!
+//! ## Flush decision
+//!
+//! [`BatchedService::step`] is the whole policy, a pure function of
+//! (queue state, `clock.now_ns()`), checked in this order:
+//!
+//! 1. **Size**: `len ≥ max_batch` → flush exactly `max_batch` requests.
+//! 2. **Drain**: the service is shutting down and requests remain →
+//!    flush what's there (deadlines no longer apply).
+//! 3. **Deadline**: the *oldest* queued request is `max_delay` old →
+//!    flush the partial batch. The deadline always tracks the oldest
+//!    pending request's enqueue time, so after a flush it re-arms from
+//!    the next enqueue, not from the flush itself.
+//! 4. Otherwise **idle**, reporting how long until the pending deadline.
+//!
+//! The production constructor runs `step` in a dedicated flusher thread
+//! against a [`RealClock`]; the deterministic batteries construct the
+//! service with [`BatchedService::with_clock`] (no thread) and call
+//! `step` by hand under a `MockClock` — every trigger path above is a
+//! hand-enumerated schedule there, not a timing race.
+//!
+//! ## Ordering semantics
+//!
+//! The queue is FIFO and a flush executes its requests in queue order,
+//! partitioned into maximal same-kind runs that go through
+//! `insert_batch` / `remove_batch` / `get_batch` whole. Responses
+//! therefore equal sequential input-order application of the drained
+//! requests — the same duplicate-key bar the trait documents for
+//! batches. One client's submissions resolve in its own program order;
+//! concurrent clients interleave at queue push, which is the service's
+//! linearization order.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use crate::clock::{Clock, RealClock};
+use crate::oneshot;
+use sharded::ConcurrentMap;
+
+/// A point operation submitted to the service. Keys and values are
+/// `u64`, as everywhere in the suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Lookup; responds with the current value.
+    Get(u64),
+    /// Insert; responds with the displaced value.
+    Insert(u64, u64),
+    /// Remove; responds with the removed value.
+    Remove(u64),
+}
+
+impl Op {
+    /// Run-partition discriminant (same-kind neighbors share a batch call).
+    fn kind(&self) -> u8 {
+        match self {
+            Op::Get(_) => 0,
+            Op::Insert(..) => 1,
+            Op::Remove(_) => 2,
+        }
+    }
+}
+
+/// When the flusher fires: either trigger ends a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Size trigger: flush as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Time trigger: flush when the oldest queued request is this old.
+    pub max_delay: Duration,
+}
+
+impl FlushPolicy {
+    /// A policy; `max_batch` must be at least 1.
+    pub fn new(max_batch: usize, max_delay: Duration) -> FlushPolicy {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        FlushPolicy {
+            max_batch,
+            max_delay,
+        }
+    }
+
+    /// The degenerate per-op policy: batches of one, no waiting — the
+    /// baseline the batching sweep compares against.
+    pub fn passthrough() -> FlushPolicy {
+        FlushPolicy::new(1, Duration::ZERO)
+    }
+}
+
+/// What `submit` does when the accumulation queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the submitting thread until the flusher drains space.
+    Block,
+    /// Refuse immediately with [`SubmitError::Overloaded`] (load shedding).
+    Shed,
+}
+
+/// Service construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// The flush policy.
+    pub policy: FlushPolicy,
+    /// Full-queue behavior.
+    pub overflow: OverflowPolicy,
+    /// Accumulation-queue capacity (requests). Submits beyond it block
+    /// or shed per `overflow`.
+    pub capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A config with the given policy, `Block` overflow, and a capacity
+    /// of `4 × max_batch` (at least 64): deep enough that the flusher
+    /// can run one batch while the next accumulates.
+    pub fn new(policy: FlushPolicy) -> ServiceConfig {
+        ServiceConfig {
+            policy,
+            overflow: OverflowPolicy::Block,
+            capacity: (4 * policy.max_batch).max(64),
+        }
+    }
+
+    /// Sets the queue capacity (at least 1).
+    pub fn with_capacity(mut self, capacity: usize) -> ServiceConfig {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the full-queue behavior.
+    pub fn with_overflow(mut self, overflow: OverflowPolicy) -> ServiceConfig {
+        self.overflow = overflow;
+        self
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full and the overflow policy is
+    /// [`OverflowPolicy::Shed`].
+    Overloaded,
+    /// The service is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "service overloaded (queue full, shed policy)"),
+            SubmitError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What fired a flush (see the module docs for the precedence order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// The size threshold filled.
+    Size,
+    /// The oldest request aged past `max_delay`.
+    Deadline,
+    /// Shutdown drain.
+    Drain,
+}
+
+/// One flusher step's outcome — what the deterministic batteries assert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// A batch of `len` requests was flushed.
+    Flushed {
+        /// Number of requests in the flushed batch.
+        len: usize,
+        /// Which trigger fired.
+        trigger: FlushTrigger,
+    },
+    /// Nothing to do yet.
+    Idle {
+        /// Nanoseconds until the pending deadline trigger, when requests
+        /// are queued; `None` on an empty queue.
+        until_deadline_ns: Option<u64>,
+    },
+}
+
+/// A queued request: the op, its enqueue time (what the deadline tracks)
+/// and the response slot.
+struct PendingReq {
+    op: Op,
+    enqueued_ns: u64,
+    tx: oneshot::Sender<Option<u64>>,
+}
+
+struct QueueState {
+    buf: VecDeque<PendingReq>,
+    closed: bool,
+    /// Bumped on every push and on close, so a flusher that observed
+    /// `Idle` can tell whether anything happened while it was deciding
+    /// to wait.
+    gen: u64,
+}
+
+/// Monotone event counters (relaxed atomics — exact under the quiesced
+/// reads the tests and stats snapshots perform).
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    blocked: AtomicU64,
+    flushes: AtomicU64,
+    size_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    drain_flushes: AtomicU64,
+    batched_ops: AtomicU64,
+}
+
+/// A point-in-time counter snapshot (see [`BatchedService::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Responses completed.
+    pub completed: u64,
+    /// Submits refused with [`SubmitError::Overloaded`].
+    pub shed: u64,
+    /// Blocking episodes: submits that had to wait for queue space at
+    /// least once (counted once per episode, not per wakeup).
+    pub blocked: u64,
+    /// Total flushes (= `size_flushes + deadline_flushes + drain_flushes`).
+    pub flushes: u64,
+    /// Flushes fired by the size threshold.
+    pub size_flushes: u64,
+    /// Flushes fired by the age deadline.
+    pub deadline_flushes: u64,
+    /// Flushes fired by shutdown drain.
+    pub drain_flushes: u64,
+    /// Requests flushed in total (mean batch = `batched_ops / flushes`).
+    pub batched_ops: u64,
+    /// Current queue occupancy.
+    pub occupancy: usize,
+    /// Queue capacity.
+    pub capacity: usize,
+}
+
+struct Shared<M> {
+    map: M,
+    queue: Mutex<QueueState>,
+    /// Flusher waits here for work.
+    not_empty: Condvar,
+    /// `Block` submitters wait here for space.
+    not_full: Condvar,
+    clock: Arc<dyn Clock>,
+    max_batch: usize,
+    max_delay_ns: u64,
+    overflow: OverflowPolicy,
+    capacity: usize,
+    counters: Counters,
+}
+
+/// The async batched front end over any [`ConcurrentMap`]. See the
+/// module docs for the flush decision and ordering semantics.
+pub struct BatchedService<M: ConcurrentMap + 'static> {
+    shared: Arc<Shared<M>>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The client's handle on one response: a future resolving to the op's
+/// result (`Option<u64>` — displaced/removed/current value), or a
+/// blocking [`wait`](ResponseFuture::wait) for sync callers. `Unpin`, so
+/// manual pollers (`exec::poll_now`) need no pin projection.
+pub struct ResponseFuture(oneshot::Receiver<Option<u64>>);
+
+impl std::fmt::Debug for ResponseFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseFuture")
+            .field("ready", &self.0.is_ready())
+            .finish()
+    }
+}
+
+impl ResponseFuture {
+    /// Blocks the calling thread for the response.
+    pub fn wait(self) -> Option<u64> {
+        self.0.wait()
+    }
+
+    /// Whether the response has arrived (without consuming it).
+    pub fn is_ready(&self) -> bool {
+        self.0.is_ready()
+    }
+}
+
+impl Future for ResponseFuture {
+    type Output = Option<u64>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<u64>> {
+        Pin::new(&mut self.0).poll(cx)
+    }
+}
+
+impl<M: ConcurrentMap + 'static> BatchedService<M> {
+    /// Starts the service with a dedicated flusher thread and the
+    /// rdtsc-calibrated [`RealClock`].
+    pub fn start(map: M, config: ServiceConfig) -> BatchedService<M> {
+        let mut svc = Self::with_clock(map, config, Arc::new(RealClock::new()));
+        let shared = svc.shared.clone();
+        svc.flusher = Some(
+            std::thread::Builder::new()
+                .name("service-flusher".into())
+                .spawn(move || flusher_loop(&shared))
+                .expect("spawn flusher"),
+        );
+        svc
+    }
+
+    /// Builds the service **without** a flusher thread, against an
+    /// injected clock: the caller drives [`step`](Self::step) by hand.
+    /// This is the deterministic-test constructor — with a `MockClock`,
+    /// every flush path is a schedule the test enumerates.
+    pub fn with_clock(map: M, config: ServiceConfig, clock: Arc<dyn Clock>) -> BatchedService<M> {
+        BatchedService {
+            shared: Arc::new(Shared {
+                map,
+                queue: Mutex::new(QueueState {
+                    buf: VecDeque::with_capacity(config.capacity.min(1 << 16)),
+                    closed: false,
+                    gen: 0,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                clock,
+                max_batch: config.policy.max_batch,
+                max_delay_ns: config.policy.max_delay.as_nanos() as u64,
+                overflow: config.overflow,
+                capacity: config.capacity,
+                counters: Counters::default(),
+            }),
+            flusher: None,
+        }
+    }
+
+    /// Submits one operation. Returns the response future immediately;
+    /// on a full queue it blocks for space or sheds, per the overflow
+    /// policy.
+    pub fn submit(&self, op: Op) -> Result<ResponseFuture, SubmitError> {
+        let shared = &*self.shared;
+        let mut q = shared.queue.lock().unwrap();
+        let mut counted_blocked = false;
+        loop {
+            if q.closed {
+                return Err(SubmitError::Closed);
+            }
+            if q.buf.len() < shared.capacity {
+                break;
+            }
+            match shared.overflow {
+                OverflowPolicy::Shed => {
+                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Overloaded);
+                }
+                OverflowPolicy::Block => {
+                    if !counted_blocked {
+                        shared.counters.blocked.fetch_add(1, Ordering::Relaxed);
+                        counted_blocked = true;
+                    }
+                    q = shared.not_full.wait(q).unwrap();
+                }
+            }
+        }
+        let (tx, rx) = oneshot::channel();
+        q.buf.push_back(PendingReq {
+            op,
+            enqueued_ns: shared.clock.now_ns(),
+            tx,
+        });
+        q.gen += 1;
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.not_empty.notify_one();
+        Ok(ResponseFuture(rx))
+    }
+
+    /// [`submit`](Self::submit)s a lookup.
+    pub fn get(&self, k: u64) -> Result<ResponseFuture, SubmitError> {
+        self.submit(Op::Get(k))
+    }
+
+    /// [`submit`](Self::submit)s an insert.
+    pub fn insert(&self, k: u64, v: u64) -> Result<ResponseFuture, SubmitError> {
+        self.submit(Op::Insert(k, v))
+    }
+
+    /// [`submit`](Self::submit)s a remove.
+    pub fn remove(&self, k: u64) -> Result<ResponseFuture, SubmitError> {
+        self.submit(Op::Remove(k))
+    }
+
+    /// One flusher decision + (at most) one batch execution. The
+    /// production flusher thread loops this; manual-mode tests call it
+    /// directly. See the module docs for the trigger precedence.
+    pub fn step(&self) -> Step {
+        step_shared(&self.shared)
+    }
+
+    /// The wrapped map (e.g. for settled-state inspection after
+    /// [`shutdown`](Self::shutdown)).
+    pub fn map(&self) -> &M {
+        &self.shared.map
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        let occupancy = self.shared.queue.lock().unwrap().buf.len();
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            blocked: c.blocked.load(Ordering::Relaxed),
+            flushes: c.flushes.load(Ordering::Relaxed),
+            size_flushes: c.size_flushes.load(Ordering::Relaxed),
+            deadline_flushes: c.deadline_flushes.load(Ordering::Relaxed),
+            drain_flushes: c.drain_flushes.load(Ordering::Relaxed),
+            batched_ops: c.batched_ops.load(Ordering::Relaxed),
+            occupancy,
+            capacity: self.shared.capacity,
+        }
+    }
+
+    /// Closes the queue, drains every pending request (completing its
+    /// response) and stops the flusher. Subsequent submits return
+    /// [`SubmitError::Closed`]. Idempotent; `Drop` calls it.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if !q.closed {
+                q.closed = true;
+                q.gen += 1;
+            }
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(h) = self.flusher.take() {
+            h.join().expect("flusher thread panicked");
+        } else {
+            // Manual mode: drain synchronously.
+            while matches!(self.step(), Step::Flushed { .. }) {}
+        }
+    }
+}
+
+impl<M: ConcurrentMap + 'static> Drop for BatchedService<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The flush decision (module docs, "Flush decision"): drains under the
+/// lock, executes outside it so submitters regain space while the map
+/// calls run.
+fn step_shared<M: ConcurrentMap>(shared: &Shared<M>) -> Step {
+    let now = shared.clock.now_ns();
+    let trigger;
+    let drained: Vec<PendingReq> = {
+        let mut q = shared.queue.lock().unwrap();
+        trigger = if q.buf.len() >= shared.max_batch {
+            FlushTrigger::Size
+        } else if q.closed && !q.buf.is_empty() {
+            FlushTrigger::Drain
+        } else if q
+            .buf
+            .front()
+            .is_some_and(|oldest| now >= oldest.enqueued_ns.saturating_add(shared.max_delay_ns))
+        {
+            FlushTrigger::Deadline
+        } else {
+            return Step::Idle {
+                until_deadline_ns: q.buf.front().map(|oldest| {
+                    oldest
+                        .enqueued_ns
+                        .saturating_add(shared.max_delay_ns)
+                        .saturating_sub(now)
+                }),
+            };
+        };
+        let n = q.buf.len().min(shared.max_batch);
+        q.buf.drain(..n).collect()
+    };
+    // Space freed: wake every parked submitter (all-at-once — a batch
+    // frees up to `max_batch` slots, and each waiter rechecks under the
+    // lock).
+    shared.not_full.notify_all();
+    let len = drained.len();
+    execute(shared, drained);
+    let c = &shared.counters;
+    c.flushes.fetch_add(1, Ordering::Relaxed);
+    c.batched_ops.fetch_add(len as u64, Ordering::Relaxed);
+    match trigger {
+        FlushTrigger::Size => c.size_flushes.fetch_add(1, Ordering::Relaxed),
+        FlushTrigger::Deadline => c.deadline_flushes.fetch_add(1, Ordering::Relaxed),
+        FlushTrigger::Drain => c.drain_flushes.fetch_add(1, Ordering::Relaxed),
+    };
+    Step::Flushed { len, trigger }
+}
+
+/// Executes a drained batch in queue order, partitioned into maximal
+/// same-kind runs through the trait batch entry points, and completes
+/// each response. Equivalent to sequential input-order application (the
+/// batch entry points guarantee exactly that for duplicate keys).
+fn execute<M: ConcurrentMap>(shared: &Shared<M>, drained: Vec<PendingReq>) {
+    let mut reqs = drained.into_iter().peekable();
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut txs: Vec<oneshot::Sender<Option<u64>>> = Vec::new();
+    while let Some(first) = reqs.next() {
+        let kind = first.op.kind();
+        pairs.clear();
+        keys.clear();
+        txs.clear();
+        let mut push = |req: PendingReq| {
+            match req.op {
+                Op::Get(k) | Op::Remove(k) => keys.push(k),
+                Op::Insert(k, v) => pairs.push((k, v)),
+            }
+            txs.push(req.tx);
+        };
+        let op = first.op;
+        push(first);
+        while reqs.peek().is_some_and(|r| r.op.kind() == kind) {
+            let r = reqs.next().expect("peeked");
+            push(r);
+        }
+        let results = match op {
+            Op::Get(_) => shared.map.get_batch(&keys),
+            Op::Insert(..) => shared.map.insert_batch(&pairs),
+            Op::Remove(_) => shared.map.remove_batch(&keys),
+        };
+        debug_assert_eq!(results.len(), txs.len());
+        // Count completions *before* delivering: a client whose `wait`
+        // returns must not observe a stats snapshot that hasn't counted
+        // its own response yet.
+        shared
+            .counters
+            .completed
+            .fetch_add(txs.len() as u64, Ordering::Relaxed);
+        for (tx, res) in txs.drain(..).zip(results) {
+            tx.send(res);
+        }
+    }
+}
+
+/// The production flusher: loop [`step_shared`], park between batches.
+/// Parking re-derives readiness under the queue lock (and `gen` catches
+/// pushes that raced the idle decision), so a submit is never missed; a
+/// timed wait covers the pending deadline.
+fn flusher_loop<M: ConcurrentMap>(shared: &Shared<M>) {
+    loop {
+        match step_shared(shared) {
+            Step::Flushed { .. } => continue,
+            Step::Idle { .. } => {
+                let mut q = shared.queue.lock().unwrap();
+                loop {
+                    if q.closed {
+                        if q.buf.is_empty() {
+                            return;
+                        }
+                        break; // drain
+                    }
+                    if q.buf.len() >= shared.max_batch {
+                        break; // size trigger
+                    }
+                    match q.buf.front() {
+                        None => q = shared.not_empty.wait(q).unwrap(),
+                        Some(oldest) => {
+                            let deadline = oldest.enqueued_ns.saturating_add(shared.max_delay_ns);
+                            let now = shared.clock.now_ns();
+                            if now >= deadline {
+                                break; // deadline trigger
+                            }
+                            let (guard, _) = shared
+                                .not_empty
+                                .wait_timeout(q, Duration::from_nanos(deadline - now))
+                                .unwrap();
+                            q = guard;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use std::collections::BTreeMap;
+
+    /// A trivial map for unit tests (integration tests use the real
+    /// structures through `workload`).
+    struct TestMap(Mutex<BTreeMap<u64, u64>>);
+
+    impl TestMap {
+        fn new() -> TestMap {
+            TestMap(Mutex::new(BTreeMap::new()))
+        }
+    }
+
+    impl ConcurrentMap for TestMap {
+        fn name(&self) -> &'static str {
+            "testmap"
+        }
+        fn insert(&self, k: u64, v: u64) -> Option<u64> {
+            self.0.lock().unwrap().insert(k, v)
+        }
+        fn remove(&self, k: &u64) -> Option<u64> {
+            self.0.lock().unwrap().remove(k)
+        }
+        fn get(&self, k: &u64) -> Option<u64> {
+            self.0.lock().unwrap().get(k).copied()
+        }
+        fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+            self.0
+                .lock()
+                .unwrap()
+                .range(lo..=hi)
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+    }
+
+    #[test]
+    fn threaded_service_answers_requests() {
+        let svc = BatchedService::start(
+            TestMap::new(),
+            ServiceConfig::new(FlushPolicy::new(8, Duration::from_micros(200))),
+        );
+        assert_eq!(svc.insert(1, 10).unwrap().wait(), None);
+        assert_eq!(svc.insert(1, 20).unwrap().wait(), Some(10));
+        assert_eq!(svc.get(1).unwrap().wait(), Some(20));
+        assert_eq!(svc.remove(1).unwrap().wait(), Some(20));
+        assert_eq!(svc.get(1).unwrap().wait(), None);
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn threaded_service_batches_a_burst() {
+        let mut svc = BatchedService::start(
+            TestMap::new(),
+            ServiceConfig::new(FlushPolicy::new(64, Duration::from_millis(5))),
+        );
+        let futs: Vec<_> = (0..256).map(|i| svc.insert(i % 32, i).unwrap()).collect();
+        for f in futs {
+            f.wait();
+        }
+        svc.shutdown();
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 256);
+        assert_eq!(stats.batched_ops, 256);
+        // Bursty closed-loop submission must produce multi-request
+        // batches: strictly fewer flushes than requests.
+        assert!(
+            stats.flushes < 256,
+            "no batching happened: {} flushes",
+            stats.flushes
+        );
+        assert_eq!(svc.map().len(), 32);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_closed() {
+        let mut svc = BatchedService::start(
+            TestMap::new(),
+            ServiceConfig::new(FlushPolicy::passthrough()),
+        );
+        assert_eq!(svc.insert(1, 1).unwrap().wait(), None);
+        svc.shutdown();
+        assert_eq!(svc.get(1).unwrap_err(), SubmitError::Closed);
+    }
+
+    #[test]
+    fn manual_mode_drop_drains_pending() {
+        let clock = Arc::new(MockClock::new());
+        let svc = BatchedService::with_clock(
+            TestMap::new(),
+            ServiceConfig::new(FlushPolicy::new(1000, Duration::from_secs(3600))),
+            clock,
+        );
+        let f = svc.insert(7, 70).unwrap();
+        drop(svc); // must drain, not leak the pending response
+        assert_eq!(f.wait(), None);
+    }
+
+    #[test]
+    fn mixed_kind_batch_executes_in_queue_order() {
+        let clock = Arc::new(MockClock::new());
+        let svc = BatchedService::with_clock(
+            TestMap::new(),
+            ServiceConfig::new(FlushPolicy::new(1000, Duration::from_secs(3600))),
+            clock,
+        );
+        // insert k=1 twice (duplicate in one run), get, remove, get —
+        // responses must equal sequential application.
+        let f1 = svc.submit(Op::Insert(1, 10)).unwrap();
+        let f2 = svc.submit(Op::Insert(1, 20)).unwrap();
+        let f3 = svc.submit(Op::Get(1)).unwrap();
+        let f4 = svc.submit(Op::Remove(1)).unwrap();
+        let f5 = svc.submit(Op::Get(1)).unwrap();
+        assert_eq!(
+            svc.step(),
+            Step::Idle {
+                until_deadline_ns: Some(3600 * 1_000_000_000)
+            }
+        );
+        let mut svc = svc;
+        svc.shutdown();
+        assert_eq!(f1.wait(), None);
+        assert_eq!(f2.wait(), Some(10), "duplicate insert sees the first");
+        assert_eq!(f3.wait(), Some(20));
+        assert_eq!(f4.wait(), Some(20));
+        assert_eq!(f5.wait(), None);
+        assert_eq!(svc.stats().drain_flushes, 1);
+    }
+}

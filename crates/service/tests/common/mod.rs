@@ -1,0 +1,82 @@
+//! Shared fixture for the service batteries: a sequential model map
+//! behind a mutex, instrumented to count how often the *batch* entry
+//! points are taken (the whole point of the service is that they are).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sharded::ConcurrentMap;
+
+/// A `BTreeMap` under a mutex, with batch-call instrumentation. The
+/// batteries test the *service* (queueing, triggers, backpressure), so
+/// the map below it is deliberately the simplest correct thing; the
+/// cross-crate oracle in the workspace root runs the real structures.
+#[derive(Default)]
+pub struct ModelMap {
+    inner: Mutex<BTreeMap<u64, u64>>,
+    batch_calls: AtomicU64,
+}
+
+#[allow(dead_code)] // not every battery uses every helper
+impl ModelMap {
+    pub fn new() -> ModelMap {
+        ModelMap::default()
+    }
+
+    /// How many times a batch entry point was invoked.
+    pub fn batch_calls(&self) -> u64 {
+        self.batch_calls.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the settled contents.
+    pub fn contents(&self) -> Vec<(u64, u64)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+}
+
+impl ConcurrentMap for ModelMap {
+    fn name(&self) -> &'static str {
+        "model"
+    }
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        self.inner.lock().unwrap().insert(k, v)
+    }
+    fn remove(&self, k: &u64) -> Option<u64> {
+        self.inner.lock().unwrap().remove(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.inner.lock().unwrap().get(k).copied()
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .range(lo..=hi)
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        self.batch_calls.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.inner.lock().unwrap();
+        batch.iter().map(|&(k, v)| m.insert(k, v)).collect()
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.batch_calls.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.inner.lock().unwrap();
+        keys.iter().map(|k| m.remove(k)).collect()
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.batch_calls.fetch_add(1, Ordering::Relaxed);
+        let m = self.inner.lock().unwrap();
+        keys.iter().map(|k| m.get(k).copied()).collect()
+    }
+}

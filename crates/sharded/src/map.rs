@@ -148,3 +148,44 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
         (**self).get_batch(keys)
     }
 }
+
+/// `Arc`'d maps forward too: shared-ownership front ends (the batched
+/// service, the harness's `all_maps`) hand the same structure to many
+/// clients without re-boxing.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        (**self).insert(k, v)
+    }
+    fn remove(&self, k: &u64) -> Option<u64> {
+        (**self).remove(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        (**self).get(k)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        (**self).range(lo, hi)
+    }
+    fn range_tier(&self) -> RangeTier {
+        (**self).range_tier()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    // As for `Box`: forward the batch methods explicitly so structure
+    // overrides are not shadowed by the per-element defaults.
+    fn insert_batch(&self, batch: &[(u64, u64)]) -> Vec<Option<u64>> {
+        (**self).insert_batch(batch)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        (**self).remove_batch(keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        (**self).get_batch(keys)
+    }
+}

@@ -7,6 +7,7 @@
 //! - [`nbskiplist`], [`seqrbt`], [`tinystm`], [`lockavl`]: experimental baselines
 //! - [`hashmap`]: concurrent hopscotch hash map (the point-op tier)
 //! - [`sharded`]: range-partitioned sharding façade with batched operations
+//! - [`service`]: async batched request/response front end
 //! - [`workload`]: benchmark harness
 pub use hashmap;
 pub use llxscx;
@@ -16,6 +17,7 @@ pub use nbskiplist;
 pub use nbtree;
 pub use ravl;
 pub use seqrbt;
+pub use service;
 pub use sharded;
 pub use tinystm;
 pub use workload;

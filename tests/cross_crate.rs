@@ -230,6 +230,96 @@ fn concurrent_batch_writers_settle_like_point_writers() {
 }
 
 #[test]
+fn batched_service_over_every_structure_settles_like_model() {
+    // The service-vs-model oracle: N client threads push interleaved
+    // point ops through a `BatchedService` front end (real flusher
+    // thread, size + deadline triggers, `Block` backpressure) over every
+    // registered structure. Clients own disjoint key stripes, so the
+    // FIFO queue plus in-order batch execution makes each client's
+    // response stream equal its own sequential `BTreeMap` replay —
+    // including duplicate-key submissions, which must resolve in
+    // submission order. After shutdown the settled contents must equal
+    // the union of the per-stripe models. Runs under TSan in CI (the
+    // flusher, the clients and the oneshot completions race for real).
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use service::{BatchedService, FlushPolicy, Op, ServiceConfig};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+    const CLIENTS: u64 = 4;
+    const STRIPE: u64 = 1000;
+    const OPS: u64 = 1200;
+    for name in ALL_MAPS {
+        let svc = BatchedService::start(
+            make_map(name, &cfg()).unwrap(),
+            ServiceConfig::new(FlushPolicy::new(32, Duration::from_micros(200))),
+        );
+        let svc = std::sync::Arc::new(svc);
+        let models: Vec<BTreeMap<u64, u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|tid| {
+                    let svc = std::sync::Arc::clone(&svc);
+                    s.spawn(move || {
+                        let base = tid * STRIPE;
+                        let mut rng = StdRng::seed_from_u64(tid + 99);
+                        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+                        let mut window: Vec<(Op, service::ResponseFuture)> = Vec::new();
+                        for step in 0..OPS {
+                            // Narrow per-stripe key range: plenty of
+                            // same-key (duplicate) submissions in flight.
+                            let k = base + rng.gen_range(0..150u64);
+                            let op = match rng.gen_range(0..4) {
+                                0 | 1 => Op::Insert(k, tid * 1_000_000 + step),
+                                2 => Op::Remove(k),
+                                _ => Op::Get(k),
+                            };
+                            window.push((op, svc.submit(op).unwrap()));
+                            // Settle in windows so many futures are in
+                            // flight at once but memory stays bounded.
+                            if window.len() == 64 || step == OPS - 1 {
+                                for (op, fut) in window.drain(..) {
+                                    let want = match op {
+                                        Op::Get(k) => model.get(&k).copied(),
+                                        Op::Insert(k, v) => model.insert(k, v),
+                                        Op::Remove(k) => model.remove(&k),
+                                    };
+                                    assert_eq!(
+                                        fut.wait(),
+                                        want,
+                                        "{name}: client {tid} {op:?} diverged from replay"
+                                    );
+                                }
+                            }
+                        }
+                        model
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut svc = std::sync::Arc::into_inner(svc).expect("clients joined");
+        svc.shutdown();
+        let merged: Vec<(u64, u64)> = models
+            .into_iter()
+            .flatten()
+            .collect::<BTreeMap<u64, u64>>()
+            .into_iter()
+            .collect();
+        assert_eq!(
+            svc.map().range(0, u64::MAX),
+            merged,
+            "{name}: settled contents diverged from the striped models"
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, CLIENTS * OPS, "{name}: lost submissions");
+        assert_eq!(stats.completed, CLIENTS * OPS, "{name}: lost responses");
+        assert!(
+            stats.flushes < stats.completed,
+            "{name}: no batching at all under {CLIENTS} concurrent clients"
+        );
+    }
+}
+
+#[test]
 fn concurrent_cross_structure_consistency() {
     // Run the same striped concurrent workload on every structure; final
     // contents must be identical (each stripe is single-writer).
