@@ -1,17 +1,12 @@
-//! Configuration-discipline gate (see `bench::cfggate`): scans every
-//! first-party `*.rs` file for the retired environment-mutation idioms
-//! (`std::env` mutation, the old shard-span pinning helpers, and
-//! suite-construction env parsing outside `workload::config`) and exits
-//! non-zero listing the offenders. It also runs the **hot-loop gate**:
-//! the `cfgcheck:hotloop` regions of `run_trial` (the measured loops
-//! between barrier and stop flag) must stay free of OS-clock
-//! timestamping and allocation idioms, so the latency percentiles keep
-//! measuring the structures rather than the harness. CI runs both in the
-//! docs job next to `linkcheck`; locally:
+//! Thin compatibility alias for `nblint --check` (see `lint::driver`).
 //!
-//! ```sh
-//! cargo run --release -p bench --bin cfgcheck
-//! ```
+//! `cfgcheck` predates the full static-analysis driver: it gated only the
+//! configuration idioms (env mutation, hot-loop markers). Those rules now
+//! run inside `nblint` along with unsafe/SAFETY coverage, the ordering
+//! audit and the epoch-guard discipline, and CI's `analysis` job invokes
+//! `nblint --check` directly. This bin remains so existing scripts and
+//! muscle memory (`cargo run -p bench --bin cfgcheck`) keep working; it
+//! runs the identical full check.
 
 use std::path::PathBuf;
 
@@ -22,45 +17,21 @@ fn main() {
         .and_then(|p| p.parent())
         .expect("bench crate sits two levels under the repo root")
         .to_path_buf();
-    let mut failed = false;
-
-    let hits = bench::cfggate::scan_repo(&root);
-    if hits.is_empty() {
-        println!("cfgcheck: configuration discipline holds (no forbidden idioms)");
-    } else {
-        failed = true;
-        eprintln!(
-            "cfgcheck: {} forbidden configuration idiom(s) — suite-construction \
-             knobs must flow through workload::SuiteConfig, never the environment:",
-            hits.len()
-        );
-        for hit in &hits {
-            eprintln!("  {}:{}: `{}`", hit.path.display(), hit.line, hit.token);
+    eprintln!("cfgcheck: alias for `nblint --check` (the rules moved into crates/lint)");
+    match lint::driver::check(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("cfgcheck: clean (full nblint check)");
         }
-    }
-
-    match bench::cfggate::scan_hotloop_repo(&root) {
-        Ok(hits) if hits.is_empty() => {
-            println!("cfgcheck: run_trial hot loops are clean (no timing/allocation idioms)");
-        }
-        Ok(hits) => {
-            failed = true;
-            eprintln!(
-                "cfgcheck: {} forbidden idiom(s) inside run_trial's measured loops — \
-                 the hot path must stay RNG-, clock- and allocation-free:",
-                hits.len()
-            );
-            for hit in &hits {
-                eprintln!("  {}:{}: `{}`", hit.path.display(), hit.line, hit.token);
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
             }
+            eprintln!("cfgcheck: {} finding(s)", findings.len());
+            std::process::exit(1);
         }
         Err(e) => {
-            failed = true;
-            eprintln!("cfgcheck: hot-loop gate error: {e}");
+            eprintln!("cfgcheck: {e}");
+            std::process::exit(2);
         }
-    }
-
-    if failed {
-        std::process::exit(1);
     }
 }

@@ -1,0 +1,23 @@
+//! Fixture: suppression-hygiene violations at known lines.
+
+#![allow(dead_code)] // line 3: inner attribute, unjustified
+
+#[allow(unused_variables)]
+fn unjustified() {}
+
+#[allow(
+    clippy::needless_return,
+    unused_mut,
+)]
+fn multi_line_unjustified() {}
+
+#[allow(unused_imports)] // ALLOW: justified — no finding here
+fn justified() {}
+
+#[allow(
+    dead_code,
+)] // ALLOW: justified on the attribute's last line
+fn multi_line_justified() {}
+
+#[cfg_attr(test, allow(dead_code))] // gated allow: outside this rule
+fn cfg_attr_case() {}

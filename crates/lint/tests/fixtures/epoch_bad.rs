@@ -1,0 +1,21 @@
+//! Fixture: epoch-discipline violations at known lines (tested under a
+//! synthetic path outside every allowlist). Keep edits append-only.
+
+use crossbeam_epoch::Guard;
+
+fn pins_directly() {
+    let g = crossbeam_epoch::pin(); // line 7
+    drop(g);
+    let g2 = epoch::pin(); // line 9
+    drop(g2);
+}
+
+fn frees_directly(a: &crossbeam_epoch::Atomic<u8>, g: &Guard) {
+    let s = a.load(std::sync::atomic::Ordering::Acquire, g);
+    unsafe { g.defer_destroy(s) }; // line 15
+    let _owned = unsafe { a.load_consume(g).into_owned() }; // line 16
+}
+
+struct HoldsGuard {
+    guard: Guard, // line 20
+}

@@ -1,0 +1,14 @@
+//! Fixture: ordering-audit violations at known lines. The integration
+//! test asserts exact line numbers, so keep edits append-only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const HIDDEN: Ordering = Ordering::SeqCst;
+
+fn bad(a: &AtomicUsize) {
+    let _ = a.fetch_add(1, HIDDEN); // line 9: alias hides the ordering
+    let _ = a.compare_exchange(0, 1, HIDDEN, HIDDEN); // line 10
+    let _ = a.fetch_update(HIDDEN, HIDDEN, |v| Some(v + 1)); // line 11
+    let _ = a.load(Ordering::SeqCst); // line 12: SeqCst, no justification
+    a.store(0, Ordering::SeqCst); // line 13: SeqCst, no justification
+}

@@ -1,0 +1,26 @@
+//! Fixture: unjustified `unsafe` at known lines. The integration test
+//! asserts the exact line numbers, so keep edits append-only.
+
+fn naked_block() {
+    let _ = unsafe { std::ptr::null::<u8>().is_null() }; // line 5
+}
+
+// A comment that is not a SAFETY comment does not count.
+fn wrong_comment() {
+    let _ = unsafe { std::ptr::null::<u8>().is_null() }; // line 10
+}
+
+// SAFETY: this block is NOT contiguous — the blank line below breaks it.
+
+fn broken_block() {
+    let _ = unsafe { std::ptr::null::<u8>().is_null() }; // line 16
+}
+
+/// Missing the safety docs section and the comment form too.
+unsafe fn undocumented_decl(p: *const u8) -> bool {
+    // SAFETY: inner block is fine; the decl on line 20 is the finding.
+    unsafe { p.is_null() }
+}
+
+struct AlsoPtr(*const u8);
+unsafe impl Send for AlsoPtr {} // line 26: impls never get the doc escape

@@ -1,0 +1,71 @@
+//! Fixture: every `unsafe` here is justified — expect ZERO unsafe-safety
+//! findings. Exercises trailing comments, comment blocks above, attribute
+//! skipping, `# Safety` docs on declarations, and `unsafe` appearing in
+//! non-code positions (strings, comments, raw strings, macros).
+
+// The word unsafe in a line comment is not code.
+/* Nor is unsafe inside /* a nested */ block comment. */
+
+static S1: &str = "unsafe { not_code() }";
+static S2: &str = r#"raw string with unsafe and a "quote""#;
+static S3: &[u8] = b"unsafe bytes";
+static C1: char = 'u'; // not a lifetime: 'u'
+
+fn above() {
+    // SAFETY: comment block immediately above the unsafe line.
+    let _ = unsafe { std::ptr::null::<u8>().is_null() };
+}
+
+fn trailing() {
+    let _ = unsafe { std::ptr::null::<u8>().is_null() }; // SAFETY: trailing form.
+}
+
+fn multi_line_block() {
+    // SAFETY: the comment block may be several lines long and still
+    // count, as long as it is contiguous with the unsafe line.
+    let _ = unsafe { std::ptr::null::<u8>().is_null() };
+}
+
+// SAFETY: attributes between the comment block and the declaration are
+// skipped, including multi-line ones.
+#[inline]
+#[cfg_attr(
+    feature = "never",
+    allow(dead_code) // ALLOW: fixture for multi-line attribute handling
+)]
+unsafe fn attr_between() {
+    // SAFETY: inner block justified separately.
+    let _ = unsafe { std::ptr::null::<u8>().is_null() };
+}
+
+/// Does a thing.
+///
+/// # Safety
+/// Caller must pass a valid pointer — the doc section satisfies the rule
+/// for declarations.
+unsafe fn decl_with_safety_docs(p: *const u8) -> bool {
+    // SAFETY: contract delegated to the caller per the doc section.
+    unsafe { p.is_null() }
+}
+
+struct HasPtr(*const u8);
+// SAFETY: raw pointer is never dereferenced; fixture impl.
+unsafe impl Send for HasPtr {}
+// SAFETY: same argument as `Send`.
+unsafe impl Sync for HasPtr {}
+
+type UnsafeFnPtr = unsafe fn(*const ());
+type UnsafeExternFnPtr = unsafe extern "C" fn(*const ());
+
+macro_rules! in_macro {
+    () => {
+        // SAFETY: macro bodies are scanned like any other code.
+        unsafe { std::ptr::null::<u8>().is_null() }
+    };
+}
+
+fn use_macro() -> bool {
+    in_macro!()
+}
+
+fn r#unsafe() {} // raw identifier, not the keyword
