@@ -17,7 +17,8 @@
 
 #![warn(missing_docs)]
 
-use llxscx::epoch::{pin, Atomic, Guard, Shared};
+use llxscx::epoch::{Atomic, Guard, Shared};
+use llxscx::guard_cache::with_guard;
 use nbtree::node::Node;
 use nbtree::{tree_update, TemplateStep};
 use std::sync::atomic::Ordering;
@@ -33,6 +34,7 @@ pub struct NbBst<K: Send + Sync + 'static, V: Send + Sync + 'static> {
 
 // SAFETY: all shared mutable state behind atomics/epoch guards.
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for NbBst<K, V> {}
+// SAFETY: same argument as `Send`.
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for NbBst<K, V> {}
 
 /// (grandparent, parent, leaf) triple returned by the pure-read search.
@@ -49,6 +51,7 @@ where
 {
     /// An empty tree.
     pub fn new() -> Self {
+        // SAFETY: construction — the tree is not yet shared with any thread.
         let guard = unsafe { llxscx::epoch::unprotected() };
         let leaf = Node::leaf(None, None, 1).into_shared(guard);
         NbBst {
@@ -57,6 +60,7 @@ where
     }
 
     fn entry<'g>(&self, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        // SEQCST: entry pointer participates in the SCX total order.
         self.entry.load(Ordering::SeqCst, guard)
     }
 
@@ -68,6 +72,8 @@ where
         // SAFETY: entry never removed; children reached under guard (C3).
         let mut l = unsafe { p.deref() }.read_child(0, guard);
         loop {
+            // SAFETY: children of a live internal node are non-null (leaf-oriented
+            // tree) and reachable under `guard`.
             let l_ref = unsafe { l.deref() };
             if l_ref.is_leaf(guard) {
                 return (gp, p, l);
@@ -81,21 +87,25 @@ where
 
     /// Value associated with `key`, using only plain reads.
     pub fn get(&self, key: &K) -> Option<V> {
-        let guard = &pin();
-        let (_, _, l) = self.search(key, guard);
-        let leaf = unsafe { l.deref() };
-        if leaf.key_eq(key) {
-            leaf.value().cloned()
-        } else {
-            None
-        }
+        with_guard(|guard| {
+            let (_, _, l) = self.search(key, guard);
+            // SAFETY: `search` always lands on a leaf: non-null, alive under `guard`.
+            let leaf = unsafe { l.deref() };
+            if leaf.key_eq(key) {
+                leaf.value().cloned()
+            } else {
+                None
+            }
+        })
     }
 
     /// Whether `key` is present.
     pub fn contains_key(&self, key: &K) -> bool {
-        let guard = &pin();
-        let (_, _, l) = self.search(key, guard);
-        unsafe { l.deref() }.key_eq(key)
+        with_guard(|guard| {
+            let (_, _, l) = self.search(key, guard);
+            // SAFETY: `search` always lands on a leaf: non-null, alive under `guard`.
+            unsafe { l.deref() }.key_eq(key)
+        })
     }
 
     /// Inserts `key → value`; returns the previous value, if any.
@@ -104,10 +114,9 @@ where
     /// leaf is still its child, LLX the leaf, then a single SCX.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         loop {
-            let guard = &pin();
-            let (_, p, l) = self.search(&key, guard);
-            let outcome = tree_update(p, guard, |handles| {
-                match handles.len() {
+            let outcome = with_guard(|guard| {
+                let (_, p, l) = self.search(&key, guard);
+                tree_update(p, guard, |handles| match handles.len() {
                     1 => {
                         let hp = &handles[0];
                         if hp.left() != l && hp.right() != l {
@@ -154,7 +163,7 @@ where
                         }
                     }
                     _ => unreachable!("template sequence for insert has length 2"),
-                }
+                })
             });
             if let Ok(old) = outcome {
                 return old;
@@ -165,64 +174,69 @@ where
     /// Removes `key`; returns its value, if it was present.
     pub fn remove(&self, key: &K) -> Option<V> {
         loop {
-            let guard = &pin();
-            let (gp, p, l) = self.search(key, guard);
-            // SAFETY: see search.
-            if !unsafe { l.deref() }.key_eq(key) {
-                return None; // linearizes like a query
-            }
-            if gp.is_null() {
-                return None; // empty tree shape: only the ∞ leaf
-            }
-            let outcome = tree_update(gp, guard, |handles| match handles.len() {
-                1 => {
-                    let hgp = &handles[0];
-                    if hgp.left() != p && hgp.right() != p {
-                        return TemplateStep::Abort;
-                    }
-                    TemplateStep::Llx(p)
+            let done = with_guard(|guard| {
+                let (gp, p, l) = self.search(key, guard);
+                // SAFETY: see search.
+                if !unsafe { l.deref() }.key_eq(key) {
+                    return Some(None); // linearizes like a query
                 }
-                2 => {
-                    let hp = &handles[1];
-                    if hp.left() != l && hp.right() != l {
-                        return TemplateStep::Abort;
-                    }
-                    TemplateStep::Llx(l)
+                if gp.is_null() {
+                    return Some(None); // empty tree shape: only the ∞ leaf
                 }
-                3 => {
-                    let hp = &handles[1];
-                    let sib = if hp.left() == l {
-                        hp.right()
-                    } else {
-                        hp.left()
-                    };
-                    TemplateStep::Llx(sib)
-                }
-                4 => {
-                    let hgp = &handles[0];
-                    let hl = &handles[2];
-                    let hs = &handles[3];
-                    let dir = if hgp.left() == p { 0 } else { 1 };
-                    let s_ref = hs.node_ref();
-                    // Fresh copy of the sibling replaces the parent.
-                    let new = if s_ref.is_leaf(guard) {
-                        Node::leaf(s_ref.key().cloned(), s_ref.value().cloned(), 1)
-                    } else {
-                        Node::internal(s_ref.key().cloned(), 1, hs.left(), hs.right())
+                let outcome = tree_update(gp, guard, |handles| match handles.len() {
+                    1 => {
+                        let hgp = &handles[0];
+                        if hgp.left() != p && hgp.right() != p {
+                            return TemplateStep::Abort;
+                        }
+                        TemplateStep::Llx(p)
                     }
-                    .into_shared(guard);
-                    TemplateStep::Scx {
-                        finalize: 0b1110, // {p, l, s}
-                        fld_record: 0,
-                        fld_idx: dir,
-                        new,
-                        created: vec![new],
-                        result: hl.node_ref().value().cloned(),
+                    2 => {
+                        let hp = &handles[1];
+                        if hp.left() != l && hp.right() != l {
+                            return TemplateStep::Abort;
+                        }
+                        TemplateStep::Llx(l)
                     }
-                }
-                _ => unreachable!("template sequence for delete has length 4"),
+                    3 => {
+                        let hp = &handles[1];
+                        let sib = if hp.left() == l {
+                            hp.right()
+                        } else {
+                            hp.left()
+                        };
+                        TemplateStep::Llx(sib)
+                    }
+                    4 => {
+                        let hgp = &handles[0];
+                        let hl = &handles[2];
+                        let hs = &handles[3];
+                        let dir = if hgp.left() == p { 0 } else { 1 };
+                        let s_ref = hs.node_ref();
+                        // Fresh copy of the sibling replaces the parent.
+                        let new = if s_ref.is_leaf(guard) {
+                            Node::leaf(s_ref.key().cloned(), s_ref.value().cloned(), 1)
+                        } else {
+                            Node::internal(s_ref.key().cloned(), 1, hs.left(), hs.right())
+                        }
+                        .into_shared(guard);
+                        TemplateStep::Scx {
+                            finalize: 0b1110, // {p, l, s}
+                            fld_record: 0,
+                            fld_idx: dir,
+                            new,
+                            created: vec![new],
+                            result: hl.node_ref().value().cloned(),
+                        }
+                    }
+                    _ => unreachable!("template sequence for delete has length 4"),
+                });
+                // Ok(old) ⇒ done (Some), SCX failure ⇒ retry (None); the
+                // early returns above are "done with None" in the same
+                // encoding.
+                outcome.ok()
             });
-            if let Ok(old) = outcome {
+            if let Some(old) = done {
                 return old;
             }
         }
@@ -234,8 +248,8 @@ where
     /// machinery applies verbatim; only the entry pointer differs).
     pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
         loop {
-            let guard = &pin();
-            if let Some(out) = nbtree::try_range_scan(self.entry(guard), &bounds, guard) {
+            let out = with_guard(|guard| nbtree::try_range_scan(self.entry(guard), &bounds, guard));
+            if let Some(out) = out {
                 return out;
             }
         }
@@ -243,24 +257,26 @@ where
 
     /// Number of keys (O(n) traversal snapshot).
     pub fn len(&self) -> usize {
-        let guard = &pin();
-        let mut count = 0;
-        let mut stack = vec![self.entry(guard)];
-        while let Some(n) = stack.pop() {
-            if n.is_null() {
-                continue;
-            }
-            let node = unsafe { n.deref() };
-            if node.is_leaf(guard) {
-                if !node.is_sentinel_key() {
-                    count += 1;
+        with_guard(|guard| {
+            let mut count = 0;
+            let mut stack = vec![self.entry(guard)];
+            while let Some(n) = stack.pop() {
+                if n.is_null() {
+                    continue;
                 }
-            } else {
-                stack.push(node.read_child(0, guard));
-                stack.push(node.read_child(1, guard));
+                // SAFETY: `n` is non-null (checked above) and reached under `guard`.
+                let node = unsafe { n.deref() };
+                if node.is_leaf(guard) {
+                    if !node.is_sentinel_key() {
+                        count += 1;
+                    }
+                } else {
+                    stack.push(node.read_child(0, guard));
+                    stack.push(node.read_child(1, guard));
+                }
             }
-        }
-        count
+            count
+        })
     }
 
     /// Whether the map is empty.
@@ -278,6 +294,7 @@ where
             if n.is_null() {
                 return;
             }
+            // SAFETY: `n` is non-null (checked above) and reached under `guard`.
             let node = unsafe { n.deref() };
             if node.is_leaf(guard) {
                 if let (Some(k), Some(v)) = (node.key(), node.value()) {
@@ -288,10 +305,11 @@ where
                 rec(node.read_child(1, guard), out, guard);
             }
         }
-        let guard = &pin();
-        let mut out = Vec::new();
-        rec(self.entry(guard), &mut out, guard);
-        out
+        with_guard(|guard| {
+            let mut out = Vec::new();
+            rec(self.entry(guard), &mut out, guard);
+            out
+        })
     }
 }
 
@@ -307,7 +325,10 @@ where
 
 impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Drop for NbBst<K, V> {
     fn drop(&mut self) {
+        // SAFETY: exclusive `&mut self` in Drop — no concurrent readers, so the
+        // unprotected guard is sound.
         let guard = unsafe { llxscx::epoch::unprotected() };
+        // SEQCST: teardown/cold path; kept uniform with the entry's accesses.
         let mut stack = vec![self.entry.load(Ordering::SeqCst, guard)];
         while let Some(n) = stack.pop() {
             if n.is_null() {
