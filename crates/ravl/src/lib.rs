@@ -18,7 +18,8 @@
 
 #![warn(missing_docs)]
 
-use llxscx::epoch::{pin, Atomic, Guard, Shared};
+use llxscx::epoch::{Atomic, Guard, Shared};
+use llxscx::guard_cache::with_guard;
 use llxscx::{llx, scx, Llx, LlxHandle, ScxArgs};
 use nbtree::node::Node;
 use std::sync::atomic::Ordering;
@@ -32,7 +33,10 @@ pub struct RelaxedAvl<K: Send + Sync + 'static, V: Send + Sync + 'static> {
     entry: Atomic<Node<K, V>>,
 }
 
+// SAFETY: all shared state lives behind epoch-managed `Atomic` links; the
+// `K: Send + Sync` / `V: Send + Sync` bounds cover the payloads.
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for RelaxedAvl<K, V> {}
+// SAFETY: same argument as `Send`.
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for RelaxedAvl<K, V> {}
 
 /// (grandparent, parent, leaf) triple returned by the pure-read search.
@@ -63,6 +67,7 @@ where
 {
     /// An empty map.
     pub fn new() -> Self {
+        // SAFETY: construction — the tree is not yet shared with any thread.
         let guard = unsafe { llxscx::epoch::unprotected() };
         let leaf = Node::leaf(None, None, 0).into_shared(guard);
         RelaxedAvl {
@@ -71,6 +76,7 @@ where
     }
 
     fn entry<'g>(&self, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        // SEQCST: entry pointer participates in the SCX total order.
         self.entry.load(Ordering::SeqCst, guard)
     }
 
@@ -80,6 +86,8 @@ where
         // SAFETY: entry never removed; traversal under guard (C3).
         let mut l = unsafe { p.deref() }.read_child(0, guard);
         loop {
+            // SAFETY: children of a live internal node are non-null (leaf-oriented
+            // tree) and reachable under `guard`.
             let l_ref = unsafe { l.deref() };
             if l_ref.is_leaf(guard) {
                 return (gp, p, l);
@@ -93,14 +101,16 @@ where
 
     /// Lookup with plain reads.
     pub fn get(&self, key: &K) -> Option<V> {
-        let guard = &pin();
-        let (_, _, l) = self.search(key, guard);
-        let leaf = unsafe { l.deref() };
-        if leaf.key_eq(key) {
-            leaf.value().cloned()
-        } else {
-            None
-        }
+        with_guard(|guard| {
+            let (_, _, l) = self.search(key, guard);
+            // SAFETY: `search` returns a leaf reached under `guard`; never null.
+            let leaf = unsafe { l.deref() };
+            if leaf.key_eq(key) {
+                leaf.value().cloned()
+            } else {
+                None
+            }
+        })
     }
 
     /// Whether `key` is present.
@@ -111,55 +121,60 @@ where
     /// Inserts `key → value`; returns the displaced value.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         loop {
-            let guard = &pin();
-            let (_, p, l) = self.search(&key, guard);
-            let Some(hp) = llx_ok(p, guard) else { continue };
-            let dir = if hp.left() == l {
-                0
-            } else if hp.right() == l {
-                1
-            } else {
-                continue;
-            };
-            let Some(hl) = llx_ok(l, guard) else { continue };
-            let leaf = hl.node_ref();
-            let (new, finalize, old, created) = if leaf.key_eq(&key) {
-                let old = leaf.value().cloned();
-                let n = Node::leaf(Some(key.clone()), Some(value.clone()), leaf.weight())
-                    .into_shared(guard);
-                (n, 0b10u8, old, vec![n])
-            } else {
-                let new_leaf =
-                    Node::leaf(Some(key.clone()), Some(value.clone()), 0).into_shared(guard);
-                let l_copy =
-                    Node::leaf(leaf.key().cloned(), leaf.value().cloned(), 0).into_shared(guard);
-                // New internal rank 1: correct locally; ancestors go stale —
-                // that is the relaxation the repair pass fixes.
-                let n = if leaf.route_left(&key) {
-                    Node::internal(leaf.key().cloned(), 1, new_leaf, l_copy)
+            let done = with_guard(|guard| {
+                let (_, p, l) = self.search(&key, guard);
+                let hp = llx_ok(p, guard)?;
+                let dir = if hp.left() == l {
+                    0
+                } else if hp.right() == l {
+                    1
                 } else {
-                    Node::internal(Some(key.clone()), 1, l_copy, new_leaf)
+                    return None;
+                };
+                let hl = llx_ok(l, guard)?;
+                let leaf = hl.node_ref();
+                let (new, finalize, old, created) = if leaf.key_eq(&key) {
+                    let old = leaf.value().cloned();
+                    let n = Node::leaf(Some(key.clone()), Some(value.clone()), leaf.weight())
+                        .into_shared(guard);
+                    (n, 0b10u8, old, vec![n])
+                } else {
+                    let new_leaf =
+                        Node::leaf(Some(key.clone()), Some(value.clone()), 0).into_shared(guard);
+                    let l_copy = Node::leaf(leaf.key().cloned(), leaf.value().cloned(), 0)
+                        .into_shared(guard);
+                    // New internal rank 1: correct locally; ancestors go stale —
+                    // that is the relaxation the repair pass fixes.
+                    let n = if leaf.route_left(&key) {
+                        Node::internal(leaf.key().cloned(), 1, new_leaf, l_copy)
+                    } else {
+                        Node::internal(Some(key.clone()), 1, l_copy, new_leaf)
+                    }
+                    .into_shared(guard);
+                    (n, 0b10u8, None, vec![new_leaf, l_copy, n])
+                };
+                let ok = scx(
+                    &ScxArgs {
+                        v: &[hp, hl],
+                        finalize,
+                        fld_record: 0,
+                        fld_idx: dir,
+                        new,
+                    },
+                    guard,
+                );
+                if ok {
+                    return Some(old);
                 }
-                .into_shared(guard);
-                (n, 0b10u8, None, vec![new_leaf, l_copy, n])
-            };
-            let ok = scx(
-                &ScxArgs {
-                    v: &[hp, hl],
-                    finalize,
-                    fld_record: 0,
-                    fld_idx: dir,
-                    new,
-                },
-                guard,
-            );
-            if ok {
+                for n in created {
+                    // SAFETY: never published.
+                    unsafe { llxscx::reclaim::dispose_record(n.as_raw()) };
+                }
+                None
+            });
+            if let Some(old) = done {
                 self.repair(&key);
                 return old;
-            }
-            for n in created {
-                // SAFETY: never published.
-                unsafe { llxscx::reclaim::dispose_record(n.as_raw()) };
             }
         }
     }
@@ -167,65 +182,69 @@ where
     /// Removes `key`; returns its value.
     pub fn remove(&self, key: &K) -> Option<V> {
         loop {
-            let guard = &pin();
-            let (gp, p, l) = self.search(key, guard);
-            if !unsafe { l.deref() }.key_eq(key) {
-                return None;
-            }
-            if gp.is_null() {
-                return None;
-            }
-            let Some(hgp) = llx_ok(gp, guard) else {
-                continue;
-            };
-            let dir = if hgp.left() == p {
-                0
-            } else if hgp.right() == p {
-                1
-            } else {
-                continue;
-            };
-            let Some(hp) = llx_ok(p, guard) else { continue };
-            let (sib, l_is_left) = if hp.left() == l {
-                (hp.right(), true)
-            } else if hp.right() == l {
-                (hp.left(), false)
-            } else {
-                continue;
-            };
-            let Some(hl) = llx_ok(l, guard) else { continue };
-            let Some(hs) = llx_ok(sib, guard) else {
-                continue;
-            };
-            let s_ref = hs.node_ref();
-            let new = if s_ref.is_leaf(guard) {
-                Node::leaf(s_ref.key().cloned(), s_ref.value().cloned(), s_ref.weight())
-            } else {
-                Node::internal(s_ref.key().cloned(), s_ref.weight(), hs.left(), hs.right())
-            }
-            .into_shared(guard);
-            let v = if l_is_left {
-                [hgp, hp, hl, hs]
-            } else {
-                [hgp, hp, hs, hl]
-            };
-            let ok = scx(
-                &ScxArgs {
-                    v: &v,
-                    finalize: 0b1110,
-                    fld_record: 0,
-                    fld_idx: dir,
-                    new,
-                },
-                guard,
-            );
-            if ok {
-                let old = hl.node_ref().value().cloned();
-                self.repair(key);
+            let done = with_guard(|guard| {
+                let (gp, p, l) = self.search(key, guard);
+                // SAFETY: `search` returns a leaf reached under `guard`; never null.
+                if !unsafe { l.deref() }.key_eq(key) {
+                    return Some((None, false));
+                }
+                if gp.is_null() {
+                    return Some((None, false));
+                }
+                let hgp = llx_ok(gp, guard)?;
+                let dir = if hgp.left() == p {
+                    0
+                } else if hgp.right() == p {
+                    1
+                } else {
+                    return None;
+                };
+                let hp = llx_ok(p, guard)?;
+                let (sib, l_is_left) = if hp.left() == l {
+                    (hp.right(), true)
+                } else if hp.right() == l {
+                    (hp.left(), false)
+                } else {
+                    return None;
+                };
+                let hl = llx_ok(l, guard)?;
+                let hs = llx_ok(sib, guard)?;
+                let s_ref = hs.node_ref();
+                let new = if s_ref.is_leaf(guard) {
+                    Node::leaf(s_ref.key().cloned(), s_ref.value().cloned(), s_ref.weight())
+                } else {
+                    Node::internal(s_ref.key().cloned(), s_ref.weight(), hs.left(), hs.right())
+                }
+                .into_shared(guard);
+                let v = if l_is_left {
+                    [hgp, hp, hl, hs]
+                } else {
+                    [hgp, hp, hs, hl]
+                };
+                let ok = scx(
+                    &ScxArgs {
+                        v: &v,
+                        finalize: 0b1110,
+                        fld_record: 0,
+                        fld_idx: dir,
+                        new,
+                    },
+                    guard,
+                );
+                if ok {
+                    let old = hl.node_ref().value().cloned();
+                    return Some((old, true));
+                }
+                // SAFETY: never published.
+                unsafe { llxscx::reclaim::dispose_record(new.as_raw()) };
+                None
+            });
+            if let Some((old, fix)) = done {
+                if fix {
+                    self.repair(key);
+                }
                 return old;
             }
-            // SAFETY: never published.
-            unsafe { llxscx::reclaim::dispose_record(new.as_raw()) };
         }
     }
 
@@ -234,30 +253,34 @@ where
     /// after a clean walk or `MAX_REPAIR_PASSES`.
     fn repair(&self, key: &K) {
         for _ in 0..MAX_REPAIR_PASSES {
-            let guard = &pin();
-            let mut p = self.entry(guard);
-            let mut n = unsafe { p.deref() }.read_child(0, guard);
-            let mut fixed = false;
-            loop {
-                if n.is_null() {
-                    break;
+            let fixed = with_guard(|guard| {
+                let mut p = self.entry(guard);
+                // SAFETY: the entry sentinel is never reclaimed.
+                let mut n = unsafe { p.deref() }.read_child(0, guard);
+                let mut fixed = false;
+                loop {
+                    if n.is_null() {
+                        break;
+                    }
+                    // SAFETY: `n` is non-null (checked above) and reached under `guard`.
+                    let n_ref = unsafe { n.deref() };
+                    if n_ref.is_leaf(guard) {
+                        break;
+                    }
+                    let (cl, cr) = (n_ref.read_child(0, guard), n_ref.read_child(1, guard));
+                    let (rl, rr) = (rank(cl), rank(cr));
+                    let want = 1 + rl.max(rr);
+                    let skew = rl.abs_diff(rr);
+                    if !n_ref.is_sentinel_key() && (n_ref.weight() != want || skew >= 2) {
+                        fixed = self.fix_at(p, n, guard);
+                        break;
+                    }
+                    p = n;
+                    let dir = if n_ref.route_left(key) { 0 } else { 1 };
+                    n = n_ref.read_child(dir, guard);
                 }
-                let n_ref = unsafe { n.deref() };
-                if n_ref.is_leaf(guard) {
-                    break;
-                }
-                let (cl, cr) = (n_ref.read_child(0, guard), n_ref.read_child(1, guard));
-                let (rl, rr) = (rank(cl), rank(cr));
-                let want = 1 + rl.max(rr);
-                let skew = rl.abs_diff(rr);
-                if !n_ref.is_sentinel_key() && (n_ref.weight() != want || skew >= 2) {
-                    fixed = self.fix_at(p, n, guard);
-                    break;
-                }
-                p = n;
-                let dir = if n_ref.route_left(key) { 0 } else { 1 };
-                n = n_ref.read_child(dir, guard);
-            }
+                fixed
+            });
             if !fixed {
                 return; // clean walk (or unfixable this pass: bounded retry)
             }
@@ -333,6 +356,7 @@ where
                     hn.child(light),
                     guard,
                 );
+                // SAFETY: `nn` was allocated by this rotation; non-null by construction.
                 let top_rank = 1 + rank(outer).max(unsafe { nn.deref() }.weight());
                 let top = mk(hc.node_ref().key(), top_rank, heavy, outer, nn, guard);
                 (vec![nn, top], top, vec![hp, hn, hc], 0b110)
@@ -361,8 +385,10 @@ where
                     hn.child(light),
                     guard,
                 );
+                // SAFETY: `nc` was allocated by this rotation; non-null by construction.
                 let top_rank = 1 + unsafe { nc.deref() }
                     .weight()
+                    // SAFETY: `nn` likewise.
                     .max(unsafe { nn.deref() }.weight());
                 let top = mk(hi.node_ref().key(), top_rank, heavy, nc, nn, guard);
                 (vec![nc, nn, top], top, vec![hp, hn, hc, hi], 0b1110)
@@ -392,8 +418,8 @@ where
     /// scan, which only follows routing keys).
     pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
         loop {
-            let guard = &pin();
-            if let Some(out) = nbtree::try_range_scan(self.entry(guard), &bounds, guard) {
+            let out = with_guard(|guard| nbtree::try_range_scan(self.entry(guard), &bounds, guard));
+            if let Some(out) = out {
                 return out;
             }
         }
@@ -401,24 +427,26 @@ where
 
     /// Number of keys (O(n) snapshot).
     pub fn len(&self) -> usize {
-        let guard = &pin();
-        let mut count = 0;
-        let mut stack = vec![self.entry(guard)];
-        while let Some(x) = stack.pop() {
-            if x.is_null() {
-                continue;
-            }
-            let node = unsafe { x.deref() };
-            if node.is_leaf(guard) {
-                if !node.is_sentinel_key() {
-                    count += 1;
+        with_guard(|guard| {
+            let mut count = 0;
+            let mut stack = vec![self.entry(guard)];
+            while let Some(x) = stack.pop() {
+                if x.is_null() {
+                    continue;
                 }
-            } else {
-                stack.push(node.read_child(0, guard));
-                stack.push(node.read_child(1, guard));
+                // SAFETY: `x` is non-null (checked above) and reached under `guard`.
+                let node = unsafe { x.deref() };
+                if node.is_leaf(guard) {
+                    if !node.is_sentinel_key() {
+                        count += 1;
+                    }
+                } else {
+                    stack.push(node.read_child(0, guard));
+                    stack.push(node.read_child(1, guard));
+                }
             }
-        }
-        count
+            count
+        })
     }
 
     /// Whether the map is empty.
@@ -436,6 +464,7 @@ where
             if x.is_null() {
                 return;
             }
+            // SAFETY: `x` is non-null (checked above) and reached under `guard`.
             let node = unsafe { x.deref() };
             if node.is_leaf(guard) {
                 if let (Some(k), Some(v)) = (node.key(), node.value()) {
@@ -446,10 +475,11 @@ where
                 rec(node.read_child(1, guard), out, guard);
             }
         }
-        let guard = &pin();
-        let mut out = Vec::new();
-        rec(self.entry(guard), &mut out, guard);
-        out
+        with_guard(|guard| {
+            let mut out = Vec::new();
+            rec(self.entry(guard), &mut out, guard);
+            out
+        })
     }
 
     /// Longest root-to-leaf path (diagnostics).
@@ -461,14 +491,14 @@ where
             if x.is_null() {
                 return 0;
             }
+            // SAFETY: `x` is non-null (checked above) and reached under `guard`.
             let node = unsafe { x.deref() };
             if node.is_leaf(guard) {
                 return 1;
             }
             1 + rec(node.read_child(0, guard), guard).max(rec(node.read_child(1, guard), guard))
         }
-        let guard = &pin();
-        rec(self.entry(guard), guard).saturating_sub(2)
+        with_guard(|guard| rec(self.entry(guard), guard).saturating_sub(2))
     }
 }
 
@@ -510,7 +540,10 @@ where
 
 impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Drop for RelaxedAvl<K, V> {
     fn drop(&mut self) {
+        // SAFETY: exclusive `&mut self` in Drop — no concurrent readers, so the
+        // unprotected guard is sound.
         let guard = unsafe { llxscx::epoch::unprotected() };
+        // SEQCST: teardown/cold path; kept uniform with the entry's accesses.
         let mut stack = vec![self.entry.load(Ordering::SeqCst, guard)];
         while let Some(x) = stack.pop() {
             if x.is_null() {
