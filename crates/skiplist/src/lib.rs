@@ -14,7 +14,8 @@
 
 use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{pin, Atomic, Guard, Owned, Shared};
+use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
+use llxscx::guard_cache::with_guard;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::cell::RefCell;
 
@@ -45,6 +46,8 @@ pub struct SkipListMap<K, V> {
 
 // SAFETY: shared state behind epoch-managed atomics.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipListMap<K, V> {}
+// SAFETY: same argument as `Send` — all shared mutation goes through the
+// epoch-managed atomic links.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipListMap<K, V> {}
 
 thread_local! {
@@ -89,6 +92,7 @@ where
     }
 
     fn head<'g>(&self, guard: &'g Guard) -> Shared<'g, SkipNode<K, V>> {
+        // SEQCST: pairs with the marking CASes' total order.
         self.head.load(Ordering::SeqCst, guard)
     }
 
@@ -103,17 +107,24 @@ where
             for level in (0..MAX_LEVEL).rev() {
                 // SAFETY: nodes reached via the list under `guard`.
                 let mut curr = unsafe { pred.deref() }.next[level]
+                    // SEQCST: pairs with the marking CASes' total order.
                     .load(Ordering::SeqCst, guard)
                     .with_tag(0);
                 loop {
                     if curr.is_null() {
                         break;
                     }
+                    // SAFETY: `curr` is non-null (loop condition) and was read from a live link
+                    // under `guard`; unlinked nodes are epoch-retired, not freed.
                     let curr_ref = unsafe { curr.deref() };
+                    // SEQCST: pairs with the marking CASes' total order.
                     let succ = curr_ref.next[level].load(Ordering::SeqCst, guard);
                     if succ.tag() == 1 {
                         // curr is marked: unlink it at this level.
+                        // SAFETY: `pred` was either the head sentinel or a node reached under
+                        // `guard` this traversal; both stay allocated while pinned.
                         let unlinked = unsafe { pred.deref() }.next[level]
+                            // SEQCST: mark/link CASes must totally order across levels (Harris–Michael).
                             .compare_exchange(
                                 curr.with_tag(0),
                                 succ.with_tag(0),
@@ -132,6 +143,8 @@ where
                             // finds before they can be traversed... they
                             // can still be traversed, which is why the
                             // retirement is epoch-deferred.
+                            // SAFETY: the CAS above removed the only level-`level` link to `curr`;
+                            // level 0 is the last unlink, after which no new traversal can reach it.
                             unsafe {
                                 guard.defer_destroy(curr);
                             }
@@ -152,6 +165,7 @@ where
                 succs[level] = curr;
             }
             let found = (!succs[0].is_null()
+                // SAFETY: `succs[0]` is non-null (checked) and was reached under `guard`.
                 && unsafe { succs[0].deref() }.key.as_ref() == Some(key))
             .then_some(succs[0]);
             return FindResult {
@@ -164,32 +178,36 @@ where
 
     /// Looks up `key` with a wait-free traversal (no unlinking).
     pub fn get(&self, key: &K) -> Option<V> {
-        let guard = &pin();
-        let mut pred = self.head(guard);
-        let mut result = None;
-        for level in (0..MAX_LEVEL).rev() {
-            // SAFETY: list nodes under `guard`.
-            let mut curr = unsafe { pred.deref() }.next[level]
-                .load(Ordering::SeqCst, guard)
-                .with_tag(0);
-            while !curr.is_null() {
-                let curr_ref = unsafe { curr.deref() };
-                let succ = curr_ref.next[level].load(Ordering::SeqCst, guard);
-                let marked = succ.tag() == 1;
-                match curr_ref.key.as_ref() {
-                    Some(k) if k < key => {
-                        pred = curr;
-                        curr = succ.with_tag(0);
+        with_guard(|guard| {
+            let mut pred = self.head(guard);
+            let mut result = None;
+            for level in (0..MAX_LEVEL).rev() {
+                // SAFETY: list nodes under `guard`.
+                let mut curr = unsafe { pred.deref() }.next[level]
+                    // SEQCST: pairs with the marking CASes' total order.
+                    .load(Ordering::SeqCst, guard)
+                    .with_tag(0);
+                while !curr.is_null() {
+                    // SAFETY: `curr` is non-null (loop condition) and alive under `guard`.
+                    let curr_ref = unsafe { curr.deref() };
+                    // SEQCST: pairs with the marking CASes' total order.
+                    let succ = curr_ref.next[level].load(Ordering::SeqCst, guard);
+                    let marked = succ.tag() == 1;
+                    match curr_ref.key.as_ref() {
+                        Some(k) if k < key => {
+                            pred = curr;
+                            curr = succ.with_tag(0);
+                        }
+                        Some(k) if k == key && !marked => {
+                            result = curr_ref.value.clone();
+                            return result;
+                        }
+                        _ => break,
                     }
-                    Some(k) if k == key && !marked => {
-                        result = curr_ref.value.clone();
-                        return result;
-                    }
-                    _ => break,
                 }
             }
-        }
-        result
+            result
+        })
     }
 
     /// Whether `key` is present.
@@ -200,93 +218,112 @@ where
     /// Inserts `key → value`. If the key is present, the *node is replaced*
     /// (marked and re-inserted), returning the old value.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        let guard = &pin();
-        // The value displaced by this insert: set when we win the mark race
-        // on an existing node for the key (delete + insert = replace).
-        let mut previous: Option<V> = None;
-        loop {
-            let f = self.find(&key, guard);
-            if let Some(existing) = f.found {
-                // Presence: replace by delete + retry-insert, which keeps
-                // the node immutable (values never change in place).
-                let old = unsafe { existing.deref() }.value.clone();
-                if self.mark_node(existing, guard) {
-                    previous = old;
-                    // Physically unlink before inserting the replacement.
-                    let _ = self.find(&key, guard);
+        with_guard(|guard| {
+            // The value displaced by this insert: set when we win the mark race
+            // on an existing node for the key (delete + insert = replace).
+            let mut previous: Option<V> = None;
+            loop {
+                let f = self.find(&key, guard);
+                if let Some(existing) = f.found {
+                    // Presence: replace by delete + retry-insert, which keeps
+                    // the node immutable (values never change in place).
+                    // SAFETY: `existing` came from `find` under `guard`; marked-but-unlinked
+                    // nodes remain allocated until every guard drops.
+                    let old = unsafe { existing.deref() }.value.clone();
+                    if self.mark_node(existing, guard) {
+                        previous = old;
+                        // Physically unlink before inserting the replacement.
+                        let _ = self.find(&key, guard);
+                    }
+                    // (On a lost race the key may reappear; re-find either way.)
+                    continue;
                 }
-                // (On a lost race the key may reappear; re-find either way.)
-                continue;
-            }
-            let height = random_height();
-            let node = Owned::new(SkipNode {
-                key: Some(key.clone()),
-                value: Some(value.clone()),
-                next: (0..height).map(|_| Atomic::null()).collect(),
-            });
-            for (level, nxt) in node.next.iter().enumerate().take(height) {
-                nxt.store(f.succs[level], Ordering::Relaxed);
-            }
-            let node = node.into_shared(guard);
-            // Linearization: CAS at the bottom level.
-            // SAFETY: preds are list nodes under `guard`.
-            let bottom = unsafe { f.preds[0].deref() };
-            if bottom.next[0]
-                .compare_exchange(f.succs[0], node, Ordering::SeqCst, Ordering::SeqCst, guard)
-                .is_err()
-            {
-                // SAFETY: never published.
-                unsafe { drop(node.into_owned()) };
-                continue;
-            }
-            // Best-effort tower construction.
-            for level in 1..height {
-                loop {
-                    let succ = unsafe { node.deref() }.next[level].load(Ordering::SeqCst, guard);
-                    if succ.tag() == 1 {
-                        return previous; // concurrently deleted; done
-                    }
-                    let pred = f.preds[level];
-                    if unsafe { pred.deref() }.next[level]
-                        .compare_exchange(
-                            succ.with_tag(0),
-                            node,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                            guard,
-                        )
-                        .is_ok()
-                    {
-                        break;
-                    }
-                    // Re-find to refresh preds/succs for this level.
-                    let f2 = self.find(&key, guard);
-                    if f2.found != Some(node) {
-                        return previous; // deleted meanwhile
-                    }
-                    let expected = f2.succs[level];
-                    if unsafe { node.deref() }.next[level]
-                        .compare_exchange(
-                            succ.with_tag(0),
-                            expected,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                            guard,
-                        )
-                        .is_err()
-                    {
-                        return previous; // marked underneath us
-                    }
-                    if unsafe { f2.preds[level].deref() }.next[level]
-                        .compare_exchange(expected, node, Ordering::SeqCst, Ordering::SeqCst, guard)
-                        .is_ok()
-                    {
-                        break;
+                let height = random_height();
+                let node = Owned::new(SkipNode {
+                    key: Some(key.clone()),
+                    value: Some(value.clone()),
+                    next: (0..height).map(|_| Atomic::null()).collect(),
+                });
+                for (level, nxt) in node.next.iter().enumerate().take(height) {
+                    nxt.store(f.succs[level], Ordering::Relaxed);
+                }
+                let node = node.into_shared(guard);
+                // Linearization: CAS at the bottom level.
+                // SAFETY: preds are list nodes under `guard`.
+                let bottom = unsafe { f.preds[0].deref() };
+                if bottom.next[0]
+                    // SEQCST: mark/link CASes must totally order across levels (Harris–Michael).
+                    .compare_exchange(f.succs[0], node, Ordering::SeqCst, Ordering::SeqCst, guard)
+                    .is_err()
+                {
+                    // SAFETY: never published.
+                    unsafe { drop(node.into_owned()) };
+                    continue;
+                }
+                // Best-effort tower construction.
+                for level in 1..height {
+                    loop {
+                        let succ =
+                            // SAFETY: `node` is this insert's own allocation, published under `guard`.
+                            // SEQCST: pairs with the marking CASes' total order.
+                            unsafe { node.deref() }.next[level].load(Ordering::SeqCst, guard);
+                        if succ.tag() == 1 {
+                            return previous; // concurrently deleted; done
+                        }
+                        let pred = f.preds[level];
+                        // SAFETY: `preds[level]` was reached by `find` under `guard`.
+                        if unsafe { pred.deref() }.next[level]
+                            // SEQCST: mark/link CASes must totally order across levels (Harris–Michael).
+                            .compare_exchange(
+                                succ.with_tag(0),
+                                node,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                                guard,
+                            )
+                            .is_ok()
+                        {
+                            break;
+                        }
+                        // Re-find to refresh preds/succs for this level.
+                        let f2 = self.find(&key, guard);
+                        if f2.found != Some(node) {
+                            return previous; // deleted meanwhile
+                        }
+                        let expected = f2.succs[level];
+                        // SAFETY: `node` is this insert's own allocation, alive under `guard`.
+                        if unsafe { node.deref() }.next[level]
+                            // SEQCST: mark/link CASes must totally order across levels (Harris–Michael).
+                            .compare_exchange(
+                                succ.with_tag(0),
+                                expected,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                                guard,
+                            )
+                            .is_err()
+                        {
+                            return previous; // marked underneath us
+                        }
+                        // SAFETY: fresh predecessor from the re-run `find`, reached under `guard`.
+                        if unsafe { f2.preds[level].deref() }.next[level]
+                            // SEQCST: mark/link CASes must totally order across levels (Harris–Michael).
+                            .compare_exchange(
+                                expected,
+                                node,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                                guard,
+                            )
+                            .is_ok()
+                        {
+                            break;
+                        }
                     }
                 }
+                return previous;
             }
-            return previous;
-        }
+        })
     }
 
     /// Marks every level of `node`, bottom last. Returns `true` iff this
@@ -297,11 +334,13 @@ where
         let h = node_ref.height();
         for level in (1..h).rev() {
             loop {
+                // SEQCST: pairs with the marking CASes' total order.
                 let succ = node_ref.next[level].load(Ordering::SeqCst, guard);
                 if succ.tag() == 1 {
                     break;
                 }
                 if node_ref.next[level]
+                    // SEQCST: mark/link CASes must totally order across levels (Harris–Michael).
                     .compare_exchange(
                         succ,
                         succ.with_tag(1),
@@ -316,11 +355,13 @@ where
             }
         }
         loop {
+            // SEQCST: pairs with the marking CASes' total order.
             let succ = node_ref.next[0].load(Ordering::SeqCst, guard);
             if succ.tag() == 1 {
                 return false; // someone else's delete linearized first
             }
             if node_ref.next[0]
+                // SEQCST: mark/link CASes must totally order across levels (Harris–Michael).
                 .compare_exchange(
                     succ,
                     succ.with_tag(1),
@@ -337,38 +378,42 @@ where
 
     /// Removes `key`; returns its value if present.
     pub fn remove(&self, key: &K) -> Option<V> {
-        let guard = &pin();
-        loop {
-            let f = self.find(key, guard);
-            let node = f.found?;
-            let value = unsafe { node.deref() }.value.clone();
-            if self.mark_node(node, guard) {
-                // Physically unlink (also retires the node).
-                let _ = self.find(key, guard);
-                return value;
+        with_guard(|guard| {
+            loop {
+                let f = self.find(key, guard);
+                let node = f.found?;
+                // SAFETY: `find` returned `node` non-null under `guard`.
+                let value = unsafe { node.deref() }.value.clone();
+                if self.mark_node(node, guard) {
+                    // Physically unlink (also retires the node).
+                    let _ = self.find(key, guard);
+                    return value;
+                }
+                // Lost the race; the key may have been re-inserted — retry.
             }
-            // Lost the race; the key may have been re-inserted — retry.
-        }
+        })
     }
 
     /// Smallest key strictly greater than `key` (with its value).
     pub fn successor(&self, key: &K) -> Option<(K, V)> {
-        let guard = &pin();
-        let f = self.find(key, guard);
-        let mut cur = f.succs[0];
-        loop {
-            if cur.is_null() {
-                return None;
+        with_guard(|guard| {
+            let f = self.find(key, guard);
+            let mut cur = f.succs[0];
+            loop {
+                if cur.is_null() {
+                    return None;
+                }
+                // SAFETY: list node under `guard`.
+                let n = unsafe { cur.deref() };
+                // SEQCST: pairs with the marking CASes' total order.
+                let succ = n.next[0].load(Ordering::SeqCst, guard);
+                let k = n.key.as_ref().expect("non-head node has a key");
+                if succ.tag() == 0 && k > key {
+                    return Some((k.clone(), n.value.clone().unwrap()));
+                }
+                cur = succ.with_tag(0);
             }
-            // SAFETY: list node under `guard`.
-            let n = unsafe { cur.deref() };
-            let succ = n.next[0].load(Ordering::SeqCst, guard);
-            let k = n.key.as_ref().expect("non-head node has a key");
-            if succ.tag() == 0 && k > key {
-                return Some((k.clone(), n.value.clone().unwrap()));
-            }
-            cur = succ.with_tag(0);
-        }
+        })
     }
 
     /// Largest key strictly smaller than `key` (with its value).
@@ -376,14 +421,15 @@ where
     /// Skip lists do not support backwards traversal; like
     /// `ConcurrentSkipListMap`, this re-descends from the head.
     pub fn predecessor(&self, key: &K) -> Option<(K, V)> {
-        let guard = &pin();
-        let f = self.find(key, guard);
-        let pred = f.preds[0];
-        // SAFETY: list node under `guard`.
-        let n = unsafe { pred.deref() };
-        n.key
-            .as_ref()
-            .map(|k| (k.clone(), n.value.clone().unwrap()))
+        with_guard(|guard| {
+            let f = self.find(key, guard);
+            let pred = f.preds[0];
+            // SAFETY: list node under `guard`.
+            let n = unsafe { pred.deref() };
+            n.key
+                .as_ref()
+                .map(|k| (k.clone(), n.value.clone().unwrap()))
+        })
     }
 
     /// All pairs with keys in `bounds`, sorted: descend to the first
@@ -398,52 +444,61 @@ where
     /// was present for the scan's whole duration.
     pub fn range<B: std::ops::RangeBounds<K>>(&self, bounds: B) -> Vec<(K, V)> {
         use std::ops::Bound;
-        let guard = &pin();
-        let mut out = Vec::new();
-        // Position at the first node with key >= the start bound; an
-        // unbounded start walks from the head sentinel.
-        let mut cur = match bounds.start_bound() {
-            Bound::Unbounded => unsafe { self.head(guard).deref() }.next[0]
-                .load(Ordering::SeqCst, guard)
-                .with_tag(0),
-            Bound::Included(lo) | Bound::Excluded(lo) => self.find(lo, guard).succs[0],
-        };
-        while !cur.is_null() {
-            // SAFETY: list node under `guard`.
-            let n = unsafe { cur.deref() };
-            let succ = n.next[0].load(Ordering::SeqCst, guard);
-            let k = n.key.as_ref().expect("non-head node has a key");
-            match bounds.end_bound() {
-                Bound::Included(hi) if k > hi => break,
-                Bound::Excluded(hi) if k >= hi => break,
-                _ => {}
+        with_guard(|guard| {
+            let mut out = Vec::new();
+            // Position at the first node with key >= the start bound; an
+            // unbounded start walks from the head sentinel.
+            let mut cur = match bounds.start_bound() {
+                // SAFETY: the head sentinel is allocated in `new` and never reclaimed.
+                Bound::Unbounded => unsafe { self.head(guard).deref() }.next[0]
+                    // SEQCST: pairs with the marking CASes' total order.
+                    .load(Ordering::SeqCst, guard)
+                    .with_tag(0),
+                Bound::Included(lo) | Bound::Excluded(lo) => self.find(lo, guard).succs[0],
+            };
+            while !cur.is_null() {
+                // SAFETY: list node under `guard`.
+                let n = unsafe { cur.deref() };
+                // SEQCST: pairs with the marking CASes' total order.
+                let succ = n.next[0].load(Ordering::SeqCst, guard);
+                let k = n.key.as_ref().expect("non-head node has a key");
+                match bounds.end_bound() {
+                    Bound::Included(hi) if k > hi => break,
+                    Bound::Excluded(hi) if k >= hi => break,
+                    _ => {}
+                }
+                // tag == 1 means logically deleted; skip. An Excluded start
+                // bound also skips the exact boundary key `find` may return.
+                if succ.tag() == 0 && bounds.contains(k) {
+                    out.push((k.clone(), n.value.clone().expect("data node has a value")));
+                }
+                cur = succ.with_tag(0);
             }
-            // tag == 1 means logically deleted; skip. An Excluded start
-            // bound also skips the exact boundary key `find` may return.
-            if succ.tag() == 0 && bounds.contains(k) {
-                out.push((k.clone(), n.value.clone().expect("data node has a value")));
-            }
-            cur = succ.with_tag(0);
-        }
-        out
+            out
+        })
     }
 
     /// Number of keys (O(n) snapshot).
     pub fn len(&self) -> usize {
-        let guard = &pin();
-        let mut count = 0;
-        let mut cur = unsafe { self.head(guard).deref() }.next[0]
-            .load(Ordering::SeqCst, guard)
-            .with_tag(0);
-        while !cur.is_null() {
-            let n = unsafe { cur.deref() };
-            let succ = n.next[0].load(Ordering::SeqCst, guard);
-            if succ.tag() == 0 {
-                count += 1;
+        with_guard(|guard| {
+            let mut count = 0;
+            // SAFETY: the head sentinel is allocated in `new` and never reclaimed.
+            let mut cur = unsafe { self.head(guard).deref() }.next[0]
+                // SEQCST: pairs with the marking CASes' total order.
+                .load(Ordering::SeqCst, guard)
+                .with_tag(0);
+            while !cur.is_null() {
+                // SAFETY: `cur` is non-null (loop condition) and alive under `guard`.
+                let n = unsafe { cur.deref() };
+                // SEQCST: pairs with the marking CASes' total order.
+                let succ = n.next[0].load(Ordering::SeqCst, guard);
+                if succ.tag() == 0 {
+                    count += 1;
+                }
+                cur = succ.with_tag(0);
             }
-            cur = succ.with_tag(0);
-        }
-        count
+            count
+        })
     }
 
     /// Whether the map is empty.
@@ -453,20 +508,25 @@ where
 
     /// Sorted snapshot of the contents.
     pub fn collect(&self) -> Vec<(K, V)> {
-        let guard = &pin();
-        let mut out = Vec::new();
-        let mut cur = unsafe { self.head(guard).deref() }.next[0]
-            .load(Ordering::SeqCst, guard)
-            .with_tag(0);
-        while !cur.is_null() {
-            let n = unsafe { cur.deref() };
-            let succ = n.next[0].load(Ordering::SeqCst, guard);
-            if succ.tag() == 0 {
-                out.push((n.key.clone().unwrap(), n.value.clone().unwrap()));
+        with_guard(|guard| {
+            let mut out = Vec::new();
+            // SAFETY: the head sentinel is allocated in `new` and never reclaimed.
+            let mut cur = unsafe { self.head(guard).deref() }.next[0]
+                // SEQCST: pairs with the marking CASes' total order.
+                .load(Ordering::SeqCst, guard)
+                .with_tag(0);
+            while !cur.is_null() {
+                // SAFETY: `cur` is non-null (loop condition) and alive under `guard`.
+                let n = unsafe { cur.deref() };
+                // SEQCST: pairs with the marking CASes' total order.
+                let succ = n.next[0].load(Ordering::SeqCst, guard);
+                if succ.tag() == 0 {
+                    out.push((n.key.clone().unwrap(), n.value.clone().unwrap()));
+                }
+                cur = succ.with_tag(0);
             }
-            cur = succ.with_tag(0);
-        }
-        out
+            out
+        })
     }
 }
 
@@ -482,11 +542,16 @@ where
 
 impl<K, V> Drop for SkipListMap<K, V> {
     fn drop(&mut self) {
+        // SAFETY: exclusive `&mut self` in Drop — no concurrent threads, so the
+        // unprotected guard cannot race with a reader.
         let guard = unsafe { crossbeam_epoch::unprotected() };
+        // SEQCST: teardown/cold path; kept uniform with the entry's accesses.
         let mut cur = self.head.load(Ordering::SeqCst, guard);
         while !cur.is_null() {
             // SAFETY: exclusive access; bottom level links every node.
+            // SEQCST: teardown/cold path; kept uniform with the entry's accesses.
             let next = unsafe { cur.deref() }.next[0].load(Ordering::SeqCst, guard);
+            // SAFETY: every node is owned by the list and dropped exactly once here.
             unsafe { drop(cur.into_owned()) };
             cur = next.with_tag(0);
         }
