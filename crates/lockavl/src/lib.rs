@@ -18,7 +18,8 @@
 
 use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{pin, Atomic, Guard, Owned, Shared};
+use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
+use llxscx::guard_cache::with_guard;
 use parking_lot::Mutex;
 
 struct AvlNode<K, V> {
@@ -29,9 +30,10 @@ struct AvlNode<K, V> {
     right: Atomic<AvlNode<K, V>>,
 }
 
-// All fields immutable after publication (children are `Atomic` only to be
+// SAFETY: all fields immutable after publication (children are `Atomic` only to be
 // loadable under a guard; they are never stored to after publication).
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for AvlNode<K, V> {}
+// SAFETY: same argument as `Send`.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for AvlNode<K, V> {}
 
 /// A concurrent ordered map: wait-free readers over a persistent AVL tree,
@@ -41,7 +43,10 @@ pub struct LockAvl<K, V> {
     writer: Mutex<()>,
 }
 
+// SAFETY: updates are serialized by the writer mutex; readers only follow
+// epoch-managed `Atomic` links, so cross-thread sharing is sound.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for LockAvl<K, V> {}
+// SAFETY: same argument as `Send`.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for LockAvl<K, V> {}
 
 fn height<K, V>(n: Shared<'_, AvlNode<K, V>>) -> u32 {
@@ -88,19 +93,20 @@ where
 
     /// Wait-free lookup.
     pub fn get(&self, key: &K) -> Option<V> {
-        let guard = &pin();
-        let mut cur = self.root.load(Ordering::Acquire, guard);
-        while !cur.is_null() {
-            // SAFETY: nodes reachable from a published root stay allocated
-            // for the guard's lifetime (retirements are epoch-deferred).
-            let n = unsafe { cur.deref() };
-            cur = match key.cmp(&n.key) {
-                std::cmp::Ordering::Less => n.left.load(Ordering::Acquire, guard),
-                std::cmp::Ordering::Greater => n.right.load(Ordering::Acquire, guard),
-                std::cmp::Ordering::Equal => return Some(n.value.clone()),
-            };
-        }
-        None
+        with_guard(|guard| {
+            let mut cur = self.root.load(Ordering::Acquire, guard);
+            while !cur.is_null() {
+                // SAFETY: nodes reachable from a published root stay allocated
+                // for the guard's lifetime (retirements are epoch-deferred).
+                let n = unsafe { cur.deref() };
+                cur = match key.cmp(&n.key) {
+                    std::cmp::Ordering::Less => n.left.load(Ordering::Acquire, guard),
+                    std::cmp::Ordering::Greater => n.right.load(Ordering::Acquire, guard),
+                    std::cmp::Ordering::Equal => return Some(n.value.clone()),
+                };
+            }
+            None
+        })
     }
 
     /// Whether `key` is present (wait-free).
@@ -110,36 +116,41 @@ where
 
     /// Smallest key strictly greater than `key` (wait-free snapshot walk).
     pub fn successor(&self, key: &K) -> Option<(K, V)> {
-        let guard = &pin();
-        let mut cur = self.root.load(Ordering::Acquire, guard);
-        let mut best: Option<(K, V)> = None;
-        while !cur.is_null() {
-            let n = unsafe { cur.deref() };
-            if &n.key > key {
-                best = Some((n.key.clone(), n.value.clone()));
-                cur = n.left.load(Ordering::Acquire, guard);
-            } else {
-                cur = n.right.load(Ordering::Acquire, guard);
+        with_guard(|guard| {
+            let mut cur = self.root.load(Ordering::Acquire, guard);
+            let mut best: Option<(K, V)> = None;
+            while !cur.is_null() {
+                // SAFETY: `cur` is non-null (loop condition); path-copied nodes are
+                // epoch-retired, so it stays allocated under `guard`.
+                let n = unsafe { cur.deref() };
+                if &n.key > key {
+                    best = Some((n.key.clone(), n.value.clone()));
+                    cur = n.left.load(Ordering::Acquire, guard);
+                } else {
+                    cur = n.right.load(Ordering::Acquire, guard);
+                }
             }
-        }
-        best
+            best
+        })
     }
 
     /// Largest key strictly smaller than `key`.
     pub fn predecessor(&self, key: &K) -> Option<(K, V)> {
-        let guard = &pin();
-        let mut cur = self.root.load(Ordering::Acquire, guard);
-        let mut best: Option<(K, V)> = None;
-        while !cur.is_null() {
-            let n = unsafe { cur.deref() };
-            if &n.key < key {
-                best = Some((n.key.clone(), n.value.clone()));
-                cur = n.right.load(Ordering::Acquire, guard);
-            } else {
-                cur = n.left.load(Ordering::Acquire, guard);
+        with_guard(|guard| {
+            let mut cur = self.root.load(Ordering::Acquire, guard);
+            let mut best: Option<(K, V)> = None;
+            while !cur.is_null() {
+                // SAFETY: `cur` is non-null (loop condition) and alive under `guard`.
+                let n = unsafe { cur.deref() };
+                if &n.key < key {
+                    best = Some((n.key.clone(), n.value.clone()));
+                    cur = n.right.load(Ordering::Acquire, guard);
+                } else {
+                    cur = n.left.load(Ordering::Acquire, guard);
+                }
             }
-        }
-        best
+            best
+        })
     }
 
     /// All pairs with keys in `bounds`, sorted. Wait-free and an **atomic
@@ -183,15 +194,16 @@ where
                 );
             }
         }
-        let guard = &pin();
-        let mut out = Vec::new();
-        rec(
-            self.root.load(Ordering::Acquire, guard),
-            &bounds,
-            &mut out,
-            guard,
-        );
-        out
+        with_guard(|guard| {
+            let mut out = Vec::new();
+            rec(
+                self.root.load(Ordering::Acquire, guard),
+                &bounds,
+                &mut out,
+                guard,
+            );
+            out
+        })
     }
 
     /// Rebuilds `(key,value,left,right)` with an AVL rotation if unbalanced.
@@ -218,6 +230,8 @@ where
                 return Self::mk(l.key.clone(), l.value.clone(), ll, new_right, guard);
             }
             // Double rotation (left-right).
+            // SAFETY: `hl > hr + 1` forces a non-leaf left-right grandchild; loaded
+            // under `guard`.
             let lrn = unsafe { lr.deref() };
             let (lrl, lrr) = (
                 lrn.left.load(Ordering::Acquire, guard),
@@ -234,6 +248,7 @@ where
             );
         }
         if hr > hl + 1 {
+            // SAFETY: `hr > hl + 1` forces a non-null right child; loaded under `guard`.
             let r = unsafe { right.deref() };
             let (rl, rr) = (
                 r.left.load(Ordering::Acquire, guard),
@@ -243,6 +258,7 @@ where
                 let new_left = Self::mk(key, value, left, rl, guard);
                 return Self::mk(r.key.clone(), r.value.clone(), new_left, rr, guard);
             }
+            // SAFETY: the rebalance case requires a non-null right-left grandchild.
             let rln = unsafe { rl.deref() };
             let (rll, rlr) = (
                 rln.left.load(Ordering::Acquire, guard),
@@ -336,6 +352,7 @@ where
         if node.is_null() {
             return node; // key absent: nothing replaced
         }
+        // SAFETY: `node` is non-null (checked by the recursion's base case).
         let n = unsafe { node.deref() };
         let (l, r) = (
             n.left.load(Ordering::Acquire, guard),
@@ -376,59 +393,63 @@ where
     /// Inserts `key → value` (serialized with other updates); returns the
     /// previous value.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        let guard = &pin();
-        let _w = self.writer.lock();
-        let root = self.root.load(Ordering::Acquire, guard);
-        let mut retired = Vec::new();
-        let mut old = None;
-        let new_root = Self::insert_rec(root, &key, &value, &mut retired, &mut old, guard);
-        self.root.store(new_root, Ordering::Release);
-        for n in retired {
-            // SAFETY: superseded old-path nodes, unreachable from the new
-            // root; readers may still hold them → epoch-deferred.
-            unsafe { guard.defer_destroy(n) };
-        }
-        old
+        with_guard(|guard| {
+            let _w = self.writer.lock();
+            let root = self.root.load(Ordering::Acquire, guard);
+            let mut retired = Vec::new();
+            let mut old = None;
+            let new_root = Self::insert_rec(root, &key, &value, &mut retired, &mut old, guard);
+            self.root.store(new_root, Ordering::Release);
+            for n in retired {
+                // SAFETY: superseded old-path nodes, unreachable from the new
+                // root; readers may still hold them → epoch-deferred.
+                unsafe { guard.defer_destroy(n) };
+            }
+            old
+        })
     }
 
     /// Removes `key` (serialized with other updates); returns its value.
     pub fn remove(&self, key: &K) -> Option<V> {
-        let guard = &pin();
-        let _w = self.writer.lock();
-        let root = self.root.load(Ordering::Acquire, guard);
-        let mut retired = Vec::new();
-        let mut old = None;
-        let new_root = Self::remove_rec(root, key, &mut retired, &mut old, guard);
-        if old.is_some() {
-            self.root.store(new_root, Ordering::Release);
-            for n in retired {
-                // SAFETY: as in insert.
-                unsafe { guard.defer_destroy(n) };
+        with_guard(|guard| {
+            let _w = self.writer.lock();
+            let root = self.root.load(Ordering::Acquire, guard);
+            let mut retired = Vec::new();
+            let mut old = None;
+            let new_root = Self::remove_rec(root, key, &mut retired, &mut old, guard);
+            if old.is_some() {
+                self.root.store(new_root, Ordering::Release);
+                for n in retired {
+                    // SAFETY: as in insert.
+                    unsafe { guard.defer_destroy(n) };
+                }
             }
-        }
-        old
+            old
+        })
     }
 
     /// Number of keys (O(n) snapshot).
     pub fn len(&self) -> usize {
-        let guard = &pin();
-        let mut count = 0;
-        let mut stack = vec![self.root.load(Ordering::Acquire, guard)];
-        while let Some(n) = stack.pop() {
-            if n.is_null() {
-                continue;
+        with_guard(|guard| {
+            let mut count = 0;
+            let mut stack = vec![self.root.load(Ordering::Acquire, guard)];
+            while let Some(n) = stack.pop() {
+                if n.is_null() {
+                    continue;
+                }
+                // SAFETY: `n` is non-null (checked above) and alive under `guard`.
+                let node = unsafe { n.deref() };
+                count += 1;
+                stack.push(node.left.load(Ordering::Acquire, guard));
+                stack.push(node.right.load(Ordering::Acquire, guard));
             }
-            let node = unsafe { n.deref() };
-            count += 1;
-            stack.push(node.left.load(Ordering::Acquire, guard));
-            stack.push(node.right.load(Ordering::Acquire, guard));
-        }
-        count
+            count
+        })
     }
 
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.root.load(Ordering::Acquire, &pin()).is_null()
+        with_guard(|guard| self.root.load(Ordering::Acquire, guard).is_null())
     }
 
     /// Sorted snapshot of the contents.
@@ -441,15 +462,17 @@ where
             if n.is_null() {
                 return;
             }
+            // SAFETY: `n` is non-null (checked above) and alive under `guard`.
             let node = unsafe { n.deref() };
             rec(node.left.load(Ordering::Acquire, guard), out, guard);
             out.push((node.key.clone(), node.value.clone()));
             rec(node.right.load(Ordering::Acquire, guard), out, guard);
         }
-        let guard = &pin();
-        let mut out = Vec::new();
-        rec(self.root.load(Ordering::Acquire, guard), &mut out, guard);
-        out
+        with_guard(|guard| {
+            let mut out = Vec::new();
+            rec(self.root.load(Ordering::Acquire, guard), &mut out, guard);
+            out
+        })
     }
 
     /// Checks AVL balance and BST order; returns the height.
@@ -464,6 +487,7 @@ where
             if n.is_null() {
                 return Ok(0);
             }
+            // SAFETY: `n` is non-null (checked above) and alive under `guard`.
             let node = unsafe { n.deref() };
             if let Some(lo) = lo {
                 if &node.key <= lo {
@@ -496,8 +520,7 @@ where
             }
             Ok(h)
         }
-        let guard = &pin();
-        rec(self.root.load(Ordering::Acquire, guard), None, None, guard)
+        with_guard(|guard| rec(self.root.load(Ordering::Acquire, guard), None, None, guard))
     }
 }
 
@@ -513,6 +536,8 @@ where
 
 impl<K, V> Drop for LockAvl<K, V> {
     fn drop(&mut self) {
+        // SAFETY: exclusive `&mut self` in Drop — no concurrent readers, so the
+        // unprotected guard is sound.
         let guard = unsafe { crossbeam_epoch::unprotected() };
         let mut stack = vec![self.root.load(Ordering::Acquire, guard)];
         while let Some(n) = stack.pop() {
