@@ -5,7 +5,8 @@
 //! tree must satisfy every chromatic-tree invariant, and at any time the
 //! height must be `O(k + c + log n)`.
 
-use llxscx::epoch::{pin, Guard, Shared};
+use llxscx::epoch::{Guard, Shared};
+use llxscx::guard_cache::with_guard;
 
 use super::ChromaticTree;
 use crate::node::Node;
@@ -64,69 +65,73 @@ where
     /// and the height. Intended for quiescent moments (tests, experiment
     /// checkpoints); concurrent updates may produce transient reports.
     pub fn audit(&self) -> AuditReport {
-        let guard = &pin();
-        let mut report = AuditReport::default();
-        let entry = self.entry(guard);
-        // SAFETY: entry is never removed.
-        let entry_ref = unsafe { entry.deref() };
-        if entry_ref.weight() != 1 || !entry_ref.is_sentinel_key() {
-            report
-                .errors
-                .push("entry must be a weight-1 sentinel".into());
-        }
-        let below = entry_ref.read_child(0, guard);
-        if below.is_null() {
-            report.errors.push("entry has no left child".into());
-            return report;
-        }
-        let below_ref = unsafe { below.deref() };
-        if below_ref.is_leaf(guard) {
-            // Empty dictionary: Fig. 10(a).
+        with_guard(|guard| {
+            let mut report = AuditReport::default();
+            let entry = self.entry(guard);
+            // SAFETY: entry is never removed.
+            let entry_ref = unsafe { entry.deref() };
+            if entry_ref.weight() != 1 || !entry_ref.is_sentinel_key() {
+                report
+                    .errors
+                    .push("entry must be a weight-1 sentinel".into());
+            }
+            let below = entry_ref.read_child(0, guard);
+            if below.is_null() {
+                report.errors.push("entry has no left child".into());
+                return report;
+            }
+            // SAFETY: `below` is non-null (checked above) and reached under `guard`.
+            let below_ref = unsafe { below.deref() };
+            if below_ref.is_leaf(guard) {
+                // Empty dictionary: Fig. 10(a).
+                if !below_ref.is_sentinel_key() || below_ref.weight() != 1 {
+                    report
+                        .errors
+                        .push("empty-tree sentinel leaf must be (∞, w=1)".into());
+                }
+                return report;
+            }
+            // Fig. 10(b): second sentinel with the chromatic root as left child.
             if !below_ref.is_sentinel_key() || below_ref.weight() != 1 {
                 report
                     .errors
-                    .push("empty-tree sentinel leaf must be (∞, w=1)".into());
+                    .push("second sentinel must be (∞, w=1)".into());
             }
-            return report;
-        }
-        // Fig. 10(b): second sentinel with the chromatic root as left child.
-        if !below_ref.is_sentinel_key() || below_ref.weight() != 1 {
+            let inf_leaf = below_ref.read_child(1, guard);
+            // SAFETY: children of a live internal node are non-null (C2), reached
+            // under `guard`.
+            let inf_ref = unsafe { inf_leaf.deref() };
+            if !inf_ref.is_leaf(guard) || !inf_ref.is_sentinel_key() {
+                report
+                    .errors
+                    .push("second sentinel's right child must be the ∞ leaf".into());
+            }
+            let root = below_ref.read_child(0, guard);
+            // Note: the chromatic root may transiently be red (weight 0): an
+            // insertion below the sentinel creates it with `l.w − 1`. That is
+            // not a violation (its parent, the sentinel, is black), so nothing
+            // rebalances it; rebalancing steps and deletions at the root force
+            // weight 1 (Lemma 28), so it can never be overweight from them.
+            let mut path_weight = None;
+            self.audit_rec(
+                root,
+                None,
+                None,
+                u32::MAX, // parent weight "not red" marker for the root
+                0,
+                1,
+                &mut path_weight,
+                &mut report,
+                guard,
+            );
+            report.weighted_path_sum = path_weight;
             report
-                .errors
-                .push("second sentinel must be (∞, w=1)".into());
-        }
-        let inf_leaf = below_ref.read_child(1, guard);
-        let inf_ref = unsafe { inf_leaf.deref() };
-        if !inf_ref.is_leaf(guard) || !inf_ref.is_sentinel_key() {
-            report
-                .errors
-                .push("second sentinel's right child must be the ∞ leaf".into());
-        }
-        let root = below_ref.read_child(0, guard);
-        // Note: the chromatic root may transiently be red (weight 0): an
-        // insertion below the sentinel creates it with `l.w − 1`. That is
-        // not a violation (its parent, the sentinel, is black), so nothing
-        // rebalances it; rebalancing steps and deletions at the root force
-        // weight 1 (Lemma 28), so it can never be overweight from them.
-        let mut path_weight = None;
-        self.audit_rec(
-            root,
-            None,
-            None,
-            u32::MAX, // parent weight "not red" marker for the root
-            0,
-            1,
-            &mut path_weight,
-            &mut report,
-            guard,
-        );
-        report.weighted_path_sum = path_weight;
-        report
+        })
     }
 
     /// Recursive checker: BST key ranges, leaf-orientation, weight rules,
     /// equal weighted path sums, violation tally.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // ALLOW: recursion carries the full per-subtree invariant context; a bag struct would obscure which bound each check uses
     fn audit_rec<'g>(
         &self,
         n: Shared<'g, Node<K, V>>,
@@ -293,29 +298,30 @@ where
     /// Prints the tree structure (keys and weights) to stderr, down to
     /// `max_depth`. Diagnostic helper for tests and debugging.
     pub fn debug_dump(&self, max_depth: usize) {
-        let guard = &pin();
-        fn rec<
-            K: Ord + Clone + Send + Sync + 'static + std::fmt::Debug,
-            V: Clone + Send + Sync + 'static,
-        >(
-            n: Shared<'_, Node<K, V>>,
-            depth: usize,
-            max_depth: usize,
-            guard: &llxscx::epoch::Guard,
-        ) {
-            if n.is_null() || depth > max_depth {
-                return;
+        with_guard(|guard| {
+            fn rec<
+                K: Ord + Clone + Send + Sync + 'static + std::fmt::Debug,
+                V: Clone + Send + Sync + 'static,
+            >(
+                n: Shared<'_, Node<K, V>>,
+                depth: usize,
+                max_depth: usize,
+                guard: &llxscx::epoch::Guard,
+            ) {
+                if n.is_null() || depth > max_depth {
+                    return;
+                }
+                // SAFETY: reached from entry under `guard`.
+                let node = unsafe { n.deref() };
+                let pad = "  ".repeat(depth);
+                let kind = if node.is_leaf(guard) { "leaf" } else { "int " };
+                eprintln!("{pad}{kind} k={:?} w={}", node.key(), node.weight());
+                if !node.is_leaf(guard) {
+                    rec(node.read_child(0, guard), depth + 1, max_depth, guard);
+                    rec(node.read_child(1, guard), depth + 1, max_depth, guard);
+                }
             }
-            // SAFETY: reached from entry under `guard`.
-            let node = unsafe { n.deref() };
-            let pad = "  ".repeat(depth);
-            let kind = if node.is_leaf(guard) { "leaf" } else { "int " };
-            eprintln!("{pad}{kind} k={:?} w={}", node.key(), node.weight());
-            if !node.is_leaf(guard) {
-                rec(node.read_child(0, guard), depth + 1, max_depth, guard);
-                rec(node.read_child(1, guard), depth + 1, max_depth, guard);
-            }
-        }
-        rec(self.entry(guard), 0, max_depth, guard);
+            rec(self.entry(guard), 0, max_depth, guard);
+        })
     }
 }
