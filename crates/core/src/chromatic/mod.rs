@@ -67,6 +67,7 @@ pub struct ChromaticTree<K: Send + Sync + 'static, V: Send + Sync + 'static> {
 
 // SAFETY: all shared mutable state is accessed through atomics/epoch guards.
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Send for ChromaticTree<K, V> {}
+// SAFETY: same argument as `Send`.
 unsafe impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Sync for ChromaticTree<K, V> {}
 
 /// The result of a search: the grandparent, parent and leaf on the search
@@ -97,6 +98,7 @@ where
     /// "Chromatic6" is `k = 6`; larger `k` trades search depth for fewer
     /// rebalancing steps, giving height `O(k + c + log n)`.
     pub fn with_allowed_violations(k: u32) -> Self {
+        // SAFETY: construction — the tree is not yet shared with any thread.
         let guard = unsafe { llxscx::epoch::unprotected() };
         // Fig. 10(a): entry(∞, w=1) with a single ∞ leaf as its left child.
         let leaf = Node::leaf(None, None, 1).into_shared(guard);
@@ -141,6 +143,8 @@ where
         loop {
             // SAFETY: reached by child pointers under `guard` (property C3).
             let leaf_ref = unsafe { leaf.deref() };
+            // SAFETY: `p` was `leaf`'s parent on this search path; same liveness
+            // argument as `leaf` (C3 under `guard`).
             let p_ref = unsafe { p.deref() };
             if leaf_ref.weight() > 1 {
                 violations += leaf_ref.weight() - 1;
@@ -186,6 +190,7 @@ where
     pub fn contains_key(&self, key: &K) -> bool {
         with_guard(|guard| {
             let res = self.search(key, guard);
+            // SAFETY: `search` always lands on a leaf: non-null, alive under `guard`.
             unsafe { res.leaf.deref() }.key_eq(key)
         })
     }
@@ -297,7 +302,9 @@ where
     /// Whether the dictionary is empty (same caveats as [`len`](Self::len)).
     pub fn is_empty(&self) -> bool {
         with_guard(|guard| {
+            // SAFETY: the entry sentinel is never reclaimed.
             let entry = unsafe { self.entry(guard).deref() };
+            // SAFETY: the entry is internal, so its left child is non-null (C2).
             unsafe { entry.read_child(0, guard).deref() }.is_leaf(guard)
         })
     }
@@ -318,6 +325,7 @@ where
         if n.is_null() {
             return;
         }
+        // SAFETY: `n` is non-null (checked above) and reached under `guard`.
         let node = unsafe { n.deref() };
         if node.is_leaf(guard) {
             if let (Some(k), Some(v)) = (node.key(), node.value()) {
@@ -344,7 +352,10 @@ impl<K: Send + Sync + 'static, V: Send + Sync + 'static> Drop for ChromaticTree<
     fn drop(&mut self) {
         // Exclusive access: free every node still in the tree. Descriptors
         // are released transitively by their reference counts.
+        // SAFETY: exclusive `&mut self` in Drop — no concurrent readers, so the
+        // unprotected guard is sound.
         let guard = unsafe { llxscx::epoch::unprotected() };
+        // SEQCST: teardown/cold path; kept uniform with the entry's accesses.
         let mut stack = vec![self.entry.load(Ordering::SeqCst, guard)];
         while let Some(n) = stack.pop() {
             if n.is_null() {

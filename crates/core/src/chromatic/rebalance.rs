@@ -44,7 +44,7 @@ where
     /// rebalancing step and restart; return once a full walk reaches a leaf
     /// without seeing a violation. By VIOL, the violation this thread's
     /// update created is then guaranteed to be gone.
-    #[allow(unused_assignments)]
+    #[allow(unused_assignments)] // ALLOW: the walk's final `gp/p` shifts are dead on the exit path; restructuring would obscure the paper's Fig. 12 loop
     pub(crate) fn cleanup(&self, key: &K) {
         loop {
             // One walk per cached-guard entry (see `ChromaticTree::insert`);
@@ -66,7 +66,10 @@ where
                     gp = p;
                     p = l;
                     l = l_ref.read_child(dir, guard);
+                    // SAFETY: `l` is a child of a live internal node (leaf-oriented tree:
+                    // children of internals are never null), read under `guard`.
                     let l2 = unsafe { l.deref() };
+                    // SAFETY: `p` was `l`'s parent on this walk; same liveness argument.
                     let p2 = unsafe { p.deref() };
                     if l2.weight() > 1 || (p2.weight() == 0 && l2.weight() == 0) {
                         if !ggp.is_null() {
@@ -141,6 +144,7 @@ where
                 }
             } else if p == hrx.right() {
                 let rxl = hrx.left();
+                // SAFETY: `rx` is internal (its child `p` exists), so `rxl` is non-null.
                 if unsafe { rxl.deref() }.weight() == 0 {
                     let Some(hrxl) = try_llx(rxl, guard) else {
                         return;
@@ -183,6 +187,7 @@ where
                 // red-red violation first, one level up (u = r, ux = rx).
                 if hrxx.node == hrx.left() {
                     let rxr = hrx.right();
+                    // SAFETY: `rxx` is a child of internal `rx`, so `rxr` is non-null.
                     if unsafe { rxr.deref() }.weight() == 0 {
                         let Some(hrxr) = try_llx(rxr, guard) else {
                             return;
@@ -200,6 +205,7 @@ where
                     }
                 } else if hrxx.node == hrx.right() {
                     let rxl = hrx.left();
+                    // SAFETY: `rxx` is a child of internal `rx`, so `rxl` is non-null.
                     if unsafe { rxl.deref() }.weight() == 0 {
                         let Some(hrxl) = try_llx(rxl, guard) else {
                             return;
@@ -226,6 +232,7 @@ where
             if sl.is_null() {
                 return; // sibling became a leaf: a node changed under us
             }
+            // SAFETY: `s` was re-checked internal above, so `sl` is non-null.
             let sl_w = unsafe { sl.deref() }.weight();
             let Some(hsl) = try_llx(sl, guard) else {
                 return;
@@ -243,6 +250,7 @@ where
                 if far.is_null() {
                     return; // sl is a leaf: a node we LLXed was modified
                 }
+                // SAFETY: `sl` was re-checked internal above; its children are non-null.
                 if unsafe { far.deref() }.weight() == 0 {
                     let Some(hfar) = try_llx(far, guard) else {
                         return;
@@ -250,6 +258,7 @@ where
                     self.do_w4(hrx, hrxx, hl, &hs, &hsl, &hfar, d, guard);
                 } else {
                     let near = hsl.child(d);
+                    // SAFETY: as for `far`: child of the internal `sl`.
                     if unsafe { near.deref() }.weight() == 0 {
                         let Some(hnear) = try_llx(near, guard) else {
                             return;
@@ -268,6 +277,7 @@ where
             if far.is_null() {
                 return; // sibling is a leaf: a node we LLXed was modified
             }
+            // SAFETY: `s` was re-checked internal above; its children are non-null.
             if unsafe { far.deref() }.weight() == 0 {
                 let Some(hfar) = try_llx(far, guard) else {
                     return;
@@ -275,6 +285,7 @@ where
                 self.do_w5(hrx, hrxx, hl, &hs, &hfar, d, guard);
             } else {
                 let near = hs.child(d);
+                // SAFETY: as for `far`: child of the internal `s`.
                 if unsafe { near.deref() }.weight() == 0 {
                     let Some(hnear) = try_llx(near, guard) else {
                         return;
@@ -503,7 +514,7 @@ where
 
     /// **W1 / W1s**: red sibling whose near child is also overweight — one
     /// rotation reduces both overweights.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // ALLOW: signature is the paper's rotation context — one handle per frozen node; bundling would hide which nodes each case freezes
     fn do_w1<'g>(
         &self,
         hu: &H<'g, K, V>,
@@ -532,7 +543,7 @@ where
 
     /// **W2 / W2s**: red sibling, near child weight 1 with no red child —
     /// rotation; the near child goes red.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // ALLOW: signature is the paper's rotation context — one handle per frozen node; bundling would hide which nodes each case freezes
     fn do_w2<'g>(
         &self,
         hu: &H<'g, K, V>,
@@ -561,7 +572,7 @@ where
 
     /// **W3 / W3s**: red sibling, near child weight 1 whose *near* child is
     /// red — double rotation through that red grandchild (`hd`).
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // ALLOW: signature is the paper's rotation context — one handle per frozen node; bundling would hide which nodes each case freezes
     fn do_w3<'g>(
         &self,
         hu: &H<'g, K, V>,
@@ -602,7 +613,7 @@ where
     /// in-progress operation owns — breaking Lemma 26's accounting and
     /// leaving a violation nothing ever cleans up (observed as a `Cleanup`
     /// livelock under contention before this was fixed).
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // ALLOW: signature is the paper's rotation context — one handle per frozen node; bundling would hide which nodes each case freezes
     fn do_w4<'g>(
         &self,
         hu: &H<'g, K, V>,
@@ -640,7 +651,7 @@ where
 
     /// **W5 / W5s**: weight-1 sibling whose *far* child is red — single
     /// rotation (the classic red-black "case 4").
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // ALLOW: signature is the paper's rotation context — one handle per frozen node; bundling would hide which nodes each case freezes
     fn do_w5<'g>(
         &self,
         hu: &H<'g, K, V>,
@@ -676,7 +687,7 @@ where
 
     /// **W6 / W6s**: weight-1 sibling whose *near* child is red — double
     /// rotation (the classic red-black "case 3").
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // ALLOW: signature is the paper's rotation context — one handle per frozen node; bundling would hide which nodes each case freezes
     fn do_w6<'g>(
         &self,
         hu: &H<'g, K, V>,

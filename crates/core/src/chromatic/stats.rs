@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Which rebalancing transformation committed (Fig. 11; mirrors counted
 /// together with their originals).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[allow(missing_docs)]
+#[allow(missing_docs)] // ALLOW: variants are the paper's rebalancing-case mnemonics; docs would repeat the table above
 pub enum Step {
     Blk,
     Rb1,

@@ -209,6 +209,8 @@ impl<K, V, S: BuildHasher> HopMap<K, V, S> {
 
     /// Home-bucket count of the current table generation.
     pub fn capacity(&self) -> usize {
+        // SAFETY: `table` is never null after construction and is loaded under `g`,
+        // so the current generation stays allocated while we read `cap`.
         guard_cache::with_guard(|g| unsafe { self.table.load(Ordering::Acquire, g).deref().cap })
     }
 
@@ -241,6 +243,8 @@ where
 
     /// [`get`](Self::get) under a caller-provided epoch guard.
     pub fn get_in(&self, k: &K, g: &Guard) -> Option<V> {
+        // SAFETY: `table` is never null; loaded under `g`, the generation cannot be
+        // freed before the guard drops.
         let t = unsafe { self.table.load(Ordering::Acquire, g).deref() };
         let h = self.home(k, t);
         let mut spins = 0;
@@ -256,6 +260,8 @@ where
                 let bit = hop.trailing_zeros() as usize;
                 hop &= hop - 1;
                 let e = t.slots[h + bit].load(Ordering::Acquire, g);
+                // SAFETY: non-null slot entries are live: removal retires them through the
+                // epoch, and `g` pins the current epoch.
                 if let Some(er) = unsafe { e.as_ref() } {
                     if er.key == *k {
                         return Some(er.value.clone());
@@ -284,6 +290,7 @@ where
     pub fn insert_in(&self, k: K, v: V, g: &Guard) -> Option<V> {
         'restart: loop {
             let t_shared = self.table.load(Ordering::Acquire, g);
+            // SAFETY: `table` is never null; the generation is alive under `g`.
             let t = unsafe { t_shared.deref() };
             let h = self.home(&k, t);
             // Lock the neighborhood's stripes (in increasing order), then
@@ -314,10 +321,13 @@ where
                 hop &= hop - 1;
                 let s = h + bit;
                 let e = t.slots[s].load(Ordering::Acquire, g);
+                // SAFETY: non-null slot entries are epoch-retired, hence alive under `g`.
                 if let Some(er) = unsafe { e.as_ref() } {
                     if er.key == k {
                         let old = er.value.clone();
                         t.slots[s].store(Owned::new(Entry { key: k, value: v }), Ordering::Release);
+                        // SAFETY: the store above unlinked `e` from its slot while holding the
+                        // segment lock; no new reader can reach it, existing readers are pinned.
                         unsafe { g.defer_destroy(e) };
                         return Some(old);
                     }
@@ -354,6 +364,7 @@ where
                 let mut victim = None;
                 for j in (f + 1 - HOP_RANGE)..f {
                     let cand = t.slots[j].load(Ordering::Acquire, g);
+                    // SAFETY: candidate slot entry; non-null entries are alive under `g`.
                     let Some(cr) = (unsafe { cand.as_ref() }) else {
                         continue;
                     };
@@ -400,6 +411,7 @@ where
     pub fn remove_in(&self, k: &K, g: &Guard) -> Option<V> {
         loop {
             let t_shared = self.table.load(Ordering::Acquire, g);
+            // SAFETY: `table` is never null; the generation is alive under `g`.
             let t = unsafe { t_shared.deref() };
             let h = self.home(k, t);
             let stripes: Vec<_> = (h / STRIPE..=(h + HOP_RANGE - 1) / STRIPE)
@@ -415,6 +427,7 @@ where
                 hop &= hop - 1;
                 let s = h + bit;
                 let e = t.slots[s].load(Ordering::Acquire, g);
+                // SAFETY: non-null slot entries are epoch-retired, hence alive under `g`.
                 if let Some(er) = unsafe { e.as_ref() } {
                     if er.key == *k {
                         // Bit first (the linearization point: the key
@@ -425,6 +438,8 @@ where
                         t.hops[h].fetch_and(!(1u32 << bit), Ordering::AcqRel);
                         t.slots[s].store(Shared::null(), Ordering::Release);
                         let v = er.value.clone();
+                        // SAFETY: the null store above unlinked `e` under the segment lock; readers
+                        // still traversing hold guards, so destruction is epoch-deferred.
                         unsafe { g.defer_destroy(e) };
                         self.len.fetch_sub(1, Ordering::Relaxed);
                         return Some(v);
@@ -502,6 +517,7 @@ where
         K: Ord,
     {
         guard_cache::with_guard(|g| {
+            // SAFETY: `table` is never null; the generation is alive under `g`.
             let t = unsafe { self.table.load(Ordering::Acquire, g).deref() };
             let mut out = Vec::new();
             for h in 0..t.cap {
@@ -518,6 +534,7 @@ where
                         let bit = hop.trailing_zeros() as usize;
                         hop &= hop - 1;
                         let e = t.slots[h + bit].load(Ordering::Acquire, g);
+                        // SAFETY: non-null slot entries are epoch-retired, hence alive under `g`.
                         if let Some(er) = unsafe { e.as_ref() } {
                             // The home filter drops entries a *stale* hop
                             // bit points at: after remove-then-reinsert of
@@ -572,6 +589,8 @@ where
     /// generation and linearize at their table load), then retired
     /// through the epoch — its drop frees only the arrays.
     fn grow(&self, expected: Shared<'_, Table<K, V>>, g: &Guard) {
+        // SAFETY: `expected` is the table the caller just loaded under `g` and is
+        // never null.
         let t = unsafe { expected.deref() };
         let _all: Vec<_> = t.locks.iter().map(|m| m.lock()).collect();
         if self.table.load(Ordering::Acquire, g) != expected {
@@ -592,7 +611,11 @@ where
                 }
             }
             if ok {
+                // SEQCST: resize publish; totally ordered with every slot store it must precede.
                 self.table.store(Owned::new(new_t), Ordering::SeqCst);
+                // SAFETY: the store above replaced `expected` as the published table with
+                // every segment lock held; its Drop frees only the arrays (entries were
+                // transplanted), and pinned readers defer that free.
                 unsafe { g.defer_destroy(expected) };
                 self.resizes.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -608,6 +631,7 @@ where
     /// [`insert_in`] without locks or version traffic. Returns false if
     /// the entry cannot be placed (caller doubles and retries).
     fn place_unsynced(&self, t: &Table<K, V>, e: Shared<'_, Entry<K, V>>, g: &Guard) -> bool {
+        // SAFETY: `e` is the caller's freshly allocated, non-null entry.
         let h = self.home(&unsafe { e.deref() }.key, t);
         let mut free = None;
         for s in h..h + ADD_RANGE {
@@ -621,6 +645,7 @@ where
             let mut victim = None;
             for j in (f + 1 - HOP_RANGE)..f {
                 let cand = t.slots[j].load(Ordering::Relaxed, g);
+                // SAFETY: resize path: every segment lock is held, entries cannot be freed.
                 let Some(cr) = (unsafe { cand.as_ref() }) else {
                     continue;
                 };
@@ -659,6 +684,7 @@ where
         K: Ord,
     {
         guard_cache::with_guard(|g| {
+            // SAFETY: `table` is never null; the generation is alive under `g`.
             let t = unsafe { self.table.load(Ordering::Acquire, g).deref() };
             let mut errors = Vec::new();
             let mut occupied = 0usize;
@@ -666,6 +692,7 @@ where
             let mut keys: Vec<&K> = Vec::new();
             for (s, slot) in t.slots.iter().enumerate() {
                 let e = slot.load(Ordering::Acquire, g);
+                // SAFETY: non-null slot entries are epoch-retired, hence alive under `g`.
                 let Some(er) = (unsafe { e.as_ref() }) else {
                     continue;
                 };
@@ -689,6 +716,7 @@ where
                     let bit = hop.trailing_zeros() as usize;
                     hop &= hop - 1;
                     let e = t.slots[h + bit].load(Ordering::Acquire, g);
+                    // SAFETY: hop-bit target slot; non-null entries are alive under `g`.
                     match unsafe { e.as_ref() } {
                         None => errors.push(format!("bucket {h}: bit {bit} points at empty slot")),
                         Some(er) if self.home(&er.key, t) != h => errors.push(format!(
@@ -723,19 +751,22 @@ where
 
 impl<K, V, S> Drop for HopMap<K, V, S> {
     fn drop(&mut self) {
-        // &mut self: no other thread holds a reference, so the unprotected
+        // SAFETY: `&mut self`: no other thread holds a reference, so the unprotected
         // guard is sound and the current generation owns every live entry.
         let g = unsafe { unprotected() };
         let t_shared = self.table.load(Ordering::Relaxed, g);
+        // SAFETY: exclusive `&mut self` in Drop — no concurrent readers.
         if let Some(t) = unsafe { t_shared.as_ref() } {
             for slot in t.slots.iter() {
                 let e = slot.load(Ordering::Relaxed, g);
                 if !e.is_null() {
+                    // SAFETY: each live entry is owned solely by this table generation.
                     drop(unsafe { e.into_owned() });
                 }
             }
         }
         if !t_shared.is_null() {
+            // SAFETY: the table itself is exclusively owned here.
             drop(unsafe { t_shared.into_owned() });
         }
     }

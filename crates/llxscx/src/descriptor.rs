@@ -114,6 +114,7 @@ pub(crate) struct ScxPayload<N> {
 // and the final, epoch-deferred reference drop) — see the reuse argument on
 // [`ScxRecord`] and the timing argument in [`reclaim`](crate::reclaim).
 unsafe impl<N: Record> Send for ScxRecord<N> {}
+// SAFETY: same argument as `Send`.
 unsafe impl<N: Record> Sync for ScxRecord<N> {}
 
 impl<N: Record> ScxRecord<N> {
@@ -154,6 +155,7 @@ impl<N: Record> ScxRecord<N> {
     /// Current state. `Relaxed` would be unsound for the protocol; helpers
     /// rely on seeing `all_frozen`/field writes ordered before `COMMITTED`.
     pub(crate) fn load_state(&self) -> u8 {
+        // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
         self.state.load(Ordering::SeqCst)
     }
 

@@ -136,6 +136,8 @@ mod tests {
         // calls to cross a repin boundary (plus collection passes).
         use std::sync::atomic::{AtomicBool, Ordering};
         static RAN: AtomicBool = AtomicBool::new(false);
+        // SAFETY: the deferred closure only touches a `'static` atomic.
+        // SEQCST: test-only; SC keeps the interleaving argument trivial.
         with_guard(|g| unsafe { g.defer_unchecked(|| RAN.store(true, Ordering::SeqCst)) });
         for _ in 0..(REPIN_OPS * 8) {
             with_guard(|_| ());
@@ -145,6 +147,7 @@ mod tests {
         for _ in 0..64 {
             flush();
         }
+        // SEQCST: test-only; SC keeps the interleaving argument trivial.
         assert!(RAN.load(Ordering::SeqCst));
     }
 
@@ -165,7 +168,9 @@ mod tests {
         // unweighted test above.)
         use std::sync::atomic::{AtomicBool, Ordering};
         static RAN_W: AtomicBool = AtomicBool::new(false);
+        // SAFETY: the deferred closure only touches a `'static` atomic.
         with_guard_weighted(REPIN_OPS, |g| unsafe {
+            // SEQCST: test-only; SC keeps the interleaving argument trivial.
             g.defer_unchecked(|| RAN_W.store(true, Ordering::SeqCst))
         });
         for _ in 0..8 {
@@ -175,6 +180,7 @@ mod tests {
         for _ in 0..64 {
             flush();
         }
+        // SEQCST: test-only; SC keeps the interleaving argument trivial.
         assert!(RAN_W.load(Ordering::SeqCst));
     }
 

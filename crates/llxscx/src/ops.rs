@@ -94,6 +94,7 @@ pub fn llx<'g, N: Record>(node: Shared<'g, N>, guard: &'g Guard) -> Llx<'g, N> {
     // SAFETY: caller obtained `node` from the structure under `guard`.
     let n = unsafe { node.deref() };
     let header = n.header();
+    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
     let marked1 = header.marked.load(Ordering::SeqCst);
     let (rinfo, state) = load_info(n, guard);
     // Second `marked` read, *after* the info load (PODC'13 Fig. 1 lines
@@ -108,6 +109,7 @@ pub fn llx<'g, N: Record>(node: Shared<'g, N>, guard: &'g Guard) -> Llx<'g, N> {
     // that is no longer in the structure: its update lands in a detached
     // subtree and the records it finalizes there may still be reachable
     // through the replacing copy, wedging every future LLX on them.
+    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
     let marked2 = header.marked.load(Ordering::SeqCst);
 
     if quiescent(state, marked2) {
@@ -116,8 +118,10 @@ pub fn llx<'g, N: Record>(node: Shared<'g, N>, guard: &'g Guard) -> Llx<'g, N> {
         // fresh descriptor, so an unchanged `info` certifies the snapshot.
         let mut children = [Shared::null(); MAX_ARITY];
         for (i, slot) in children.iter_mut().enumerate().take(N::ARITY) {
+            // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
             *slot = n.child(i).load(Ordering::SeqCst, guard);
         }
+        // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
         if header.info.load(Ordering::SeqCst, guard) == rinfo {
             return Llx::Snapshot(LlxHandle {
                 node,
@@ -138,6 +142,7 @@ pub fn llx<'g, N: Record>(node: Shared<'g, N>, guard: &'g Guard) -> Llx<'g, N> {
     if done && marked1 {
         return Llx::Finalized;
     }
+    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
     let cur = header.info.load(Ordering::SeqCst, guard);
     if state_of(cur) == IN_PROGRESS {
         // SAFETY: non-null (IN_PROGRESS), protected by `guard`.
@@ -243,6 +248,7 @@ pub fn scx<'g, N: Record>(args: &ScxArgs<'_, 'g, N>, guard: &'g Guard) -> bool {
         // "never installed".
         unsafe {
             let d = &*desc_ptr;
+            // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
             if d.refs.load(Ordering::SeqCst) == 0 {
                 pool::release(desc_ptr);
             }
@@ -309,6 +315,7 @@ pub fn vlx<'g, N: Record>(handles: &[LlxHandle<'g, N>], guard: &'g Guard) -> boo
     for h in handles {
         // SAFETY: handle's record is protected by `guard`.
         let n = unsafe { h.node.deref() };
+        // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
         let cur = n.header().info.load(Ordering::SeqCst, guard);
         if cur != h.info {
             if state_of(cur) == IN_PROGRESS {
@@ -339,6 +346,7 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
     for i in 0..p.len {
         let node = &*p.v[i];
         let expect: Shared<'_, ScxRecord<N>> = Shared::from_usize(p.info_fields[i]);
+        // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
         match node.header().info.compare_exchange(
             expect,
             desc_s,
@@ -363,9 +371,11 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
                     // only released by reaching a terminal state, which
                     // happens after `all_frozen` on the commit path), so
                     // this read is conclusive.
+                    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
                     if desc.all_frozen.load(Ordering::SeqCst) {
                         return true;
                     }
+                    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
                     let _ = desc.state.compare_exchange(
                         IN_PROGRESS,
                         ABORTED,
@@ -379,16 +389,19 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
         }
     }
 
+    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
     desc.all_frozen.store(true, Ordering::SeqCst);
     // Mark (finalize) every record in R. Idempotent across helpers.
     for i in 0..p.len {
         if p.finalize_mask & (1 << i) != 0 {
+            // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
             (*p.v[i]).header().marked.store(true, Ordering::SeqCst);
         }
     }
     // The update CAS. Only the first helper's CAS succeeds: `old` was a
     // fresh allocation when installed and is never re-stored (constraint 1).
     let parent = &*p.fld_node;
+    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
     let _ = parent.child(p.fld_idx).compare_exchange(
         Shared::from(p.old as *const _),
         Shared::from(p.new as *const _),
@@ -402,6 +415,7 @@ pub(crate) unsafe fn help<N: Record>(desc_s: Shared<'_, ScxRecord<N>>, guard: &G
     // safe for concurrent traversals still holding pre-commit guards.
     if desc
         .state
+        // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
         .compare_exchange(IN_PROGRESS, COMMITTED, Ordering::SeqCst, Ordering::SeqCst)
         .is_ok()
     {
@@ -454,6 +468,7 @@ mod tests {
         assert!(h.left().is_null());
         assert!(h.right().is_null());
         assert_eq!(h.node_ref().key, 1);
+        // SAFETY: `root` was never published to another thread; test-local teardown.
         unsafe { crate::reclaim::dispose_record(root.as_raw()) };
     }
 
@@ -462,6 +477,8 @@ mod tests {
         let guard = &pin();
         let root = TestNode::new(0).into_shared(guard);
         let a = TestNode::new(1).into_shared(guard);
+        // SAFETY: `root` is a live test-local allocation under `guard`.
+        // SEQCST: test-only; SC keeps the interleaving argument trivial.
         unsafe { root.deref() }.children[0].store(a, Ordering::SeqCst);
 
         let hr = llx(root, guard).unwrap();
@@ -478,12 +495,15 @@ mod tests {
             guard,
         );
         assert!(ok);
+        // SAFETY: `root` stays allocated for the whole test under `guard`.
+        // SEQCST: test-only; SC keeps the interleaving argument trivial.
         let now = unsafe { root.deref() }.children[0].load(Ordering::SeqCst, guard);
         assert_eq!(now, fresh);
         // `a` is finalized: LLX reports it.
         assert!(matches!(llx(a, guard), Llx::Finalized));
         // Stale handle on root no longer validates.
         assert!(!vlx(&[hr], guard));
+        // SAFETY: test-local nodes; nothing else references them after the asserts.
         unsafe {
             crate::reclaim::dispose_record(fresh.as_raw());
             crate::reclaim::dispose_record(root.as_raw());
@@ -519,8 +539,11 @@ mod tests {
             },
             guard
         ));
+        // SAFETY: `root` stays allocated for the whole test under `guard`.
+        // SEQCST: test-only; SC keeps the interleaving argument trivial.
         let now = unsafe { root.deref() }.children[0].load(Ordering::SeqCst, guard);
         assert_eq!(now, n1);
+        // SAFETY: test-local teardown; the losing SCX's nodes are unreachable.
         unsafe {
             crate::reclaim::dispose_record(n2.as_raw());
             crate::reclaim::dispose_record(n1.as_raw());
@@ -534,6 +557,7 @@ mod tests {
         let root = TestNode::new(0).into_shared(guard);
         let h = llx(root, guard).unwrap();
         assert!(vlx(&[h], guard));
+        // SAFETY: `root` was never shared; test-local teardown.
         unsafe { crate::reclaim::dispose_record(root.as_raw()) };
     }
 
@@ -556,6 +580,7 @@ mod tests {
         let h2 = llx(root, guard).unwrap();
         assert_eq!(h2.right(), n1);
         assert!(h2.left().is_null());
+        // SAFETY: test-local teardown of nodes this test allocated.
         unsafe {
             crate::reclaim::dispose_record(n1.as_raw());
             crate::reclaim::dispose_record(root.as_raw());
@@ -592,8 +617,8 @@ mod tests {
         // A handle identical to `genuine` except for the incarnation tag —
         // exactly what a helper holds after the expected descriptor was
         // returned to the pool and checked out again (seq bumped).
-        // SAFETY: same allocation as `genuine.info`, only the tag differs.
         let stale = LlxHandle {
+            // SAFETY: same allocation as `genuine.info`, only the tag differs.
             info: unsafe { Shared::from_usize(genuine.info.into_usize() ^ 0x1) },
             ..genuine
         };
@@ -617,6 +642,8 @@ mod tests {
             "stale incarnation froze the record (ABA on info)"
         );
         // The record is untouched and the genuine handle still works.
+        // SAFETY: `root` stays allocated for the whole test under `guard`.
+        // SEQCST: test-only; SC keeps the interleaving argument trivial.
         let now = unsafe { root.deref() }.children[0].load(Ordering::SeqCst, guard);
         assert_eq!(now, n1);
         let n3 = TestNode::new(3).into_shared(guard);
@@ -630,6 +657,7 @@ mod tests {
             },
             guard
         ));
+        // SAFETY: test-local teardown of nodes this test allocated.
         unsafe {
             crate::reclaim::dispose_record(n3.as_raw());
             crate::reclaim::dispose_record(n2.as_raw());
@@ -661,8 +689,8 @@ mod tests {
         ));
         let genuine = llx(root, guard).unwrap();
         assert!(vlx(&[genuine], guard), "fresh handle must validate");
-        // SAFETY: same allocation as `genuine.info`, only the tag differs.
         let stale = LlxHandle {
+            // SAFETY: same allocation as `genuine.info`, only the tag differs.
             info: unsafe { Shared::from_usize(genuine.info.into_usize() ^ 0x1) },
             ..genuine
         };
@@ -672,6 +700,7 @@ mod tests {
         );
         // A mixed sequence fails as a whole.
         assert!(!vlx(&[genuine, stale], guard));
+        // SAFETY: test-local teardown of nodes this test allocated.
         unsafe {
             crate::reclaim::dispose_record(n1.as_raw());
             crate::reclaim::dispose_record(root.as_raw());
@@ -710,14 +739,18 @@ mod tests {
                 ));
                 if !old.is_null() {
                     // Replaced value: retire it ourselves (not in R).
+                    // SAFETY: `old` was displaced by the winning SCX; only the winner retires it.
                     unsafe { crate::reclaim::defer_dispose_record(old.as_raw(), guard) };
                 }
+                // SAFETY: `root` stays allocated for the whole test under `guard`.
                 let cur = unsafe { root.deref() }
                     .header()
                     .info
+                    // SEQCST: test-only; SC keeps the interleaving argument trivial.
                     .load(Ordering::SeqCst, guard);
                 seen.entry(cur.as_raw() as usize)
                     .or_default()
+                    // SAFETY: `cur` was just loaded from a live record's header under `guard`.
                     .push(unsafe { cur.deref() }.incarnation());
             }
             // Let deferred reference drops run so descriptors return to
@@ -736,9 +769,11 @@ mod tests {
                 "incarnation numbers must strictly advance per allocation: {incarnations:?}"
             );
         }
+        // SAFETY: single-threaded teardown after all workers joined.
         unsafe {
             let guard = crossbeam_epoch::unprotected();
             let root = Shared::from(root_addr as *const TestNode);
+            // SEQCST: test-only; SC keeps the interleaving argument trivial.
             let last = root.deref().children[1].load(Ordering::SeqCst, guard);
             if !last.is_null() {
                 crate::reclaim::dispose_record(last.as_raw());

@@ -110,6 +110,10 @@ thread_local! {
 }
 
 /// Releases one `allocs` reference; the zero-crossing party frees the pool.
+///
+/// # Safety
+/// The caller gives up one counted reference to `pool` and must not touch
+/// the pool through this pointer afterwards.
 unsafe fn drop_alloc_ref<N: Record>(pool: *const PoolShared<N>) {
     // AcqRel: the release half publishes our last use of the pool, the
     // acquire half (on the zero crossing) orders it before the free.
@@ -120,6 +124,10 @@ unsafe fn drop_alloc_ref<N: Record>(pool: *const PoolShared<N>) {
 
 /// Owner-thread exit: close the stack (atomic swap to `DEAD`), free the
 /// captured descriptors, and drop the owner's pool reference.
+///
+/// # Safety
+/// `pool` must be the `PoolShared<N>` this thread registered at
+/// construction; called exactly once, from the owner's TLS destructor.
 unsafe fn owner_exit<N: Record>(pool: *const ()) {
     let pool = pool as *const PoolShared<N>;
     let captured = (*pool).head.swap(DEAD, Ordering::AcqRel);
@@ -331,23 +339,29 @@ mod tests {
     #[test]
     fn acquire_release_reuses_allocation() {
         let d1 = acquire::<PoolNode>();
+        // SAFETY: `d1` came from `acquire` and has not been released.
         let seq1 = unsafe { (*d1).seq.load(Ordering::Relaxed) };
+        // SAFETY: `d1` is a live descriptor this test checked out.
         unsafe { release(d1) };
         let d2 = acquire::<PoolNode>();
+        // SAFETY: `d2` came from `acquire` and has not been released.
         let seq2 = unsafe { (*d2).seq.load(Ordering::Relaxed) };
         assert_eq!(d1, d2, "pool should hand back the parked descriptor");
         assert_eq!(seq2, seq1 + 1, "every checkout bumps the incarnation");
+        // SAFETY: `d2` is live and released exactly once.
         unsafe { release(d2) };
     }
 
     #[test]
     fn cross_thread_release_lands_in_owner_pool() {
         let d = acquire::<PoolNode>() as usize;
+        // SAFETY: `d` is a live descriptor; this is its only release.
         std::thread::spawn(move || unsafe { release(d as *mut ScxRecord<PoolNode>) })
             .join()
             .unwrap();
         let d2 = acquire::<PoolNode>();
         assert_eq!(d2 as usize, d, "cross-thread return reaches the owner");
+        // SAFETY: `d2` is live and released exactly once.
         unsafe { release(d2) };
     }
 
@@ -357,11 +371,13 @@ mod tests {
         // keeps CAP and frees the rest; refills must reuse parked memory.
         let descs: Vec<*mut ScxRecord<PoolNode>> = (0..POOL_CAP + 8).map(|_| acquire()).collect();
         for &d in &descs {
+            // SAFETY: each descriptor from `acquire` is released exactly once.
             unsafe { release(d) };
         }
         let again: Vec<*mut ScxRecord<PoolNode>> = (0..POOL_CAP).map(|_| acquire()).collect();
         for &d in &again {
             assert!(descs.contains(&d), "refill must reuse parked memory");
+            // SAFETY: each descriptor from `acquire` is released exactly once.
             unsafe { release(d) };
         }
     }
@@ -373,12 +389,15 @@ mod tests {
         let d = std::thread::spawn(|| {
             let keep = acquire::<PoolNode>();
             let parked = acquire::<PoolNode>();
+            // SAFETY: `parked` is live; released once, before the owner exits.
             unsafe { release(parked) }; // parked in the pool at exit
             keep as usize
         })
         .join()
         .unwrap();
         // The owner is gone; this return must take the DEAD path.
+        // SAFETY: `keep` leaked past the owner's exit; this single release
+        // must take the DEAD path and free it.
         unsafe { release(d as *mut ScxRecord<PoolNode>) };
     }
 }

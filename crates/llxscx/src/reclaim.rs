@@ -125,6 +125,7 @@ pub(crate) unsafe fn defer_dec_refs<N: Record>(d: *const ScxRecord<N>, guard: &G
 /// any thread (typically: called from an epoch-deferred closure scheduled
 /// after the record was finalized and unlinked, or during structure drop).
 pub unsafe fn dispose_record<N: Record>(ptr: *const N) {
+    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
     let info = (*ptr).header().info.load(
         std::sync::atomic::Ordering::SeqCst,
         crossbeam_epoch::unprotected(),

@@ -44,6 +44,7 @@ impl<N> RecordHeader<N> {
     /// This is a racy read intended for assertions and introspection; the
     /// synchronized way to observe finalization is [`Llx::Finalized`](crate::Llx).
     pub fn is_marked(&self) -> bool {
+        // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
         self.marked.load(Ordering::SeqCst)
     }
 }
@@ -91,6 +92,7 @@ pub(crate) fn load_info<'g, N: Record>(
     node: &N,
     guard: &'g Guard,
 ) -> (Shared<'g, ScxRecord<N>>, u8) {
+    // SEQCST: LLX/SCX proof assumes one total order over info/mark/child updates (paper §4).
     let info = node.header().info.load(Ordering::SeqCst, guard);
     (info, state_of(info))
 }

@@ -151,9 +151,11 @@ mod tests {
     fn slots_round_trip_through_cache() {
         let layout = Layout::new::<[u64; 16]>();
         let a = alloc_slot(layout);
+        // SAFETY: `a` came from `alloc_slot` with the same layout.
         unsafe { free_slot(a, layout) };
         let b = alloc_slot(layout);
         assert_eq!(a, b, "cache must hand back the freed slot");
+        // SAFETY: `b` came from `alloc_slot` with the same layout.
         unsafe { free_slot(b, layout) };
     }
 
@@ -162,9 +164,11 @@ mod tests {
         let l1 = Layout::new::<[u64; 8]>();
         let l2 = Layout::new::<[u64; 16]>();
         let a = alloc_slot(l1);
+        // SAFETY: `a` came from `alloc_slot` with layout `l1`.
         unsafe { free_slot(a, l1) };
         let b = alloc_slot(l2);
         assert_ne!(a, b);
+        // SAFETY: `b` came from `alloc_slot` with layout `l2`.
         unsafe { free_slot(b, l2) };
     }
 
@@ -174,9 +178,11 @@ mod tests {
         // out as a slot (same allocator, same layout).
         let boxed: *mut [u64; 16] = Box::into_raw(Box::new([7u64; 16]));
         let layout = Layout::new::<[u64; 16]>();
+        // SAFETY: `boxed` came from the global allocator with exactly `layout`.
         unsafe { free_slot(boxed as *mut u8, layout) };
         let again = alloc_slot(layout);
         assert_eq!(again, boxed as *mut u8);
+        // SAFETY: `again` came from `alloc_slot` with the same layout.
         unsafe { free_slot(again, layout) };
     }
 

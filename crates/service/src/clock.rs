@@ -110,17 +110,20 @@ impl MockClock {
 
     /// Advances time by `d`.
     pub fn advance(&self, d: Duration) {
+        // SEQCST: virtual test clock; not hot, simplest correct choice.
         self.ns.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
     }
 
     /// Advances time by `ns` nanoseconds.
     pub fn advance_ns(&self, ns: u64) {
+        // SEQCST: virtual test clock; not hot, simplest correct choice.
         self.ns.fetch_add(ns, Ordering::SeqCst);
     }
 }
 
 impl Clock for MockClock {
     fn now_ns(&self) -> u64 {
+        // SEQCST: virtual test clock; not hot, simplest correct choice.
         self.ns.load(Ordering::SeqCst)
     }
 }

@@ -57,20 +57,24 @@ impl Parker {
 /// the `Arc`'s strong count by hand: `clone` increments, `wake`
 /// consumes, `wake_by_ref` borrows, `drop` decrements.
 fn parker_waker(parker: Arc<Parker>) -> Waker {
+    // SAFETY: vtable contract — `data` is an `Arc<Parker>` from `Arc::into_raw`.
     unsafe fn clone(data: *const ()) -> RawWaker {
         // SAFETY: `data` came from `Arc::into_raw` and the count is
         // incremented before a second raw handle exists.
         unsafe { Arc::increment_strong_count(data as *const Parker) };
         RawWaker::new(data, &VTABLE)
     }
+    // SAFETY: vtable contract — called at most once with the waker's handle.
     unsafe fn wake(data: *const ()) {
         // SAFETY: consumes the handle this waker owned.
         unsafe { Arc::from_raw(data as *const Parker) }.unpark();
     }
+    // SAFETY: vtable contract — `data` stays valid for the call's duration.
     unsafe fn wake_by_ref(data: *const ()) {
         // SAFETY: borrows without touching the count.
         unsafe { &*(data as *const Parker) }.unpark();
     }
+    // SAFETY: vtable contract — the waker's final use of `data`.
     unsafe fn drop_raw(data: *const ()) {
         // SAFETY: releases the handle this waker owned.
         drop(unsafe { Arc::from_raw(data as *const Parker) });
@@ -104,9 +108,11 @@ pub fn block_on<F: Future>(fut: F) -> F::Output {
 /// scheduling side effects (see [`poll_now`]).
 pub fn noop_waker() -> Waker {
     fn raw() -> RawWaker {
+        // SAFETY: carries no data; nothing to uphold.
         unsafe fn clone(_: *const ()) -> RawWaker {
             raw()
         }
+        // SAFETY: carries no data; nothing to uphold.
         unsafe fn nop(_: *const ()) {}
         static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, nop, nop, nop);
         RawWaker::new(std::ptr::null(), &VTABLE)
@@ -147,21 +153,25 @@ impl Task {
 /// Builds a [`Waker`] that re-enqueues `task`; same manual `Arc`
 /// counting as the parker waker.
 fn task_waker(task: Arc<Task>) -> Waker {
+    // SAFETY: vtable contract — `data` is an `Arc<Task>` from `Arc::into_raw`.
     unsafe fn clone(data: *const ()) -> RawWaker {
         // SAFETY: as in `parker_waker`.
         unsafe { Arc::increment_strong_count(data as *const Task) };
         RawWaker::new(data, &VTABLE)
     }
+    // SAFETY: vtable contract — called at most once with the waker's handle.
     unsafe fn wake(data: *const ()) {
         // SAFETY: consumes the waker's handle.
         unsafe { Arc::from_raw(data as *const Task) }.schedule();
     }
+    // SAFETY: vtable contract — `data` stays valid for the call's duration.
     unsafe fn wake_by_ref(data: *const ()) {
         // SAFETY: a borrowed Arc view — ManuallyDrop keeps the count
         // untouched; `schedule` clones internally.
         let task = unsafe { std::mem::ManuallyDrop::new(Arc::from_raw(data as *const Task)) };
         task.schedule();
     }
+    // SAFETY: vtable contract — the waker's final use of `data`.
     unsafe fn drop_raw(data: *const ()) {
         // SAFETY: releases the waker's handle.
         drop(unsafe { Arc::from_raw(data as *const Task) });

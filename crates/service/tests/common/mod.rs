@@ -18,7 +18,7 @@ pub struct ModelMap {
     batch_calls: AtomicU64,
 }
 
-#[allow(dead_code)] // not every battery uses every helper
+#[allow(dead_code)] // ALLOW: shared test helpers; not every battery uses every one
 impl ModelMap {
     pub fn new() -> ModelMap {
         ModelMap::default()

@@ -27,6 +27,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     /// A new transactional variable.
     pub fn new(value: T) -> Arc<Self> {
         Arc::new(TVar {
+            // SEQCST: TL2 global clock and version locks need a single total order.
             version_lock: AtomicU64::new(GLOBAL_CLOCK.load(Ordering::SeqCst) << 1),
             value: RwLock::new(value),
         })
@@ -39,6 +40,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     }
 
     fn sample_version(&self) -> u64 {
+        // SEQCST: TL2 global clock and version locks need a single total order.
         self.version_lock.load(Ordering::SeqCst)
     }
 }
@@ -57,23 +59,28 @@ impl<T: Clone + Send + Sync + 'static> ErasedVar for TVar<T> {
         self as *const _ as *const () as usize
     }
     fn try_lock(&self) -> Option<u64> {
+        // SEQCST: TL2 global clock and version locks need a single total order.
         let cur = self.version_lock.load(Ordering::SeqCst);
         if cur & 1 == 1 {
             return None;
         }
         self.version_lock
+            // SEQCST: TL2 global clock and version locks need a single total order.
             .compare_exchange(cur, cur | 1, Ordering::SeqCst, Ordering::SeqCst)
             .ok()
     }
     fn unlock_restore(&self, old: u64) {
+        // SEQCST: TL2 global clock and version locks need a single total order.
         self.version_lock.store(old, Ordering::SeqCst);
     }
     fn write_and_release(&self, value: Box<dyn Any>, new_version: u64) {
         let v = *value.downcast::<T>().expect("write-set type mismatch");
         *self.value.write() = v;
+        // SEQCST: TL2 global clock and version locks need a single total order.
         self.version_lock.store(new_version << 1, Ordering::SeqCst);
     }
     fn version_word(&self) -> u64 {
+        // SEQCST: TL2 global clock and version locks need a single total order.
         self.version_lock.load(Ordering::SeqCst)
     }
 }
@@ -100,6 +107,7 @@ pub struct Tx {
 impl Tx {
     fn new() -> Self {
         Tx {
+            // SEQCST: TL2 global clock and version locks need a single total order.
             rv: GLOBAL_CLOCK.load(Ordering::SeqCst),
             reads: Vec::new(),
             writes: HashMap::new(),
@@ -108,6 +116,7 @@ impl Tx {
     }
 
     fn reset(&mut self) {
+        // SEQCST: TL2 global clock and version locks need a single total order.
         self.rv = GLOBAL_CLOCK.load(Ordering::SeqCst);
         self.reads.clear();
         self.writes.clear();
@@ -172,6 +181,7 @@ impl Tx {
         }
         // Increment the clock, then validate the read set: every read
         // version must still be current and unlocked (or locked by us).
+        // SEQCST: TL2 global clock and version locks need a single total order.
         let wv = GLOBAL_CLOCK.fetch_add(1, Ordering::SeqCst) + 1;
         if wv != self.rv + 1 {
             // Someone committed since we started: validate reads.

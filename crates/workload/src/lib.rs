@@ -615,7 +615,7 @@ pub fn run_trial(
 /// exclusively through `make_map(name, cfg)`, so the caller's
 /// [`SuiteConfig`] — not the environment at call time — determines how
 /// the `"sharded"` entry is sized.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // ALLOW: bench entry point mirrors the suite-config axes one-to-one
 pub fn measure(
     name: &str,
     cfg: &SuiteConfig,
