@@ -2,7 +2,7 @@
 //! `vendor/`/`target/`/hidden dirs, resolves intra-repo link targets and
 //! exits non-zero listing any that point at nothing. No network —
 //! external URLs and in-page anchors are skipped. CI runs this in the
-//! `docs` job; locally:
+//! `analysis` job; locally:
 //!
 //! ```sh
 //! cargo run --release -p bench --bin linkcheck [ROOT]
